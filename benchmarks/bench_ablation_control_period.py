@@ -1,0 +1,45 @@
+"""Ablation - control period (re-planning rate).
+
+DESIGN.md design choice: OTEM replans every ``mpc_step_s`` seconds with
+move blocking.  Faster replanning tracks pulses better at higher compute;
+slower replanning leans on the preview.
+
+Expected shape: all periods stay thermally safe; wall time falls as the
+period grows.
+"""
+
+import time
+
+from repro.sim.scenario import Scenario, run_scenario
+
+PERIODS_S = (2.0, 5.0, 10.0)
+
+
+def run_period(period):
+    start = time.perf_counter()
+    result = run_scenario(
+        Scenario(methodology="otem", cycle="us06", repeat=1, mpc_step_s=period)
+    )
+    return result, time.perf_counter() - start
+
+
+def test_ablation_control_period(benchmark):
+    results = benchmark.pedantic(
+        lambda: {p: run_period(p) for p in PERIODS_S}, rounds=1, iterations=1
+    )
+
+    print()
+    print("Ablation - control period (US06 x1)")
+    print(f"{'period [s]':>11} {'qloss [%]':>10} {'avg P [kW]':>11} {'wall [s]':>9}")
+    for p in PERIODS_S:
+        result, elapsed = results[p]
+        print(
+            f"{p:>11.0f} {result.qloss_percent:>10.4f} "
+            f"{result.metrics.average_power_w / 1000:>11.2f} {elapsed:>9.1f}"
+        )
+
+    # slower replanning must be cheaper in wall time
+    assert results[PERIODS_S[-1]][1] < results[PERIODS_S[0]][1]
+    # every period keeps the battery in the safe zone
+    for p in PERIODS_S:
+        assert results[p][0].metrics.time_above_safe_s < 30.0

@@ -1,0 +1,45 @@
+"""Ablation - MPC control-window length N.
+
+DESIGN.md design choice: OTEM plans over N coarse steps.  A longer window
+sees pulses earlier (better TEB preparation) at higher solve cost.  This
+bench sweeps N and reports quality vs compute.
+
+Expected shape: a very short window (N=2) ages the battery more than the
+default (N=12); solve time grows with N.
+"""
+
+import time
+
+from repro.sim.scenario import Scenario, run_scenario
+
+HORIZONS = (2, 6, 12, 20)
+
+
+def run_horizon(n):
+    start = time.perf_counter()
+    result = run_scenario(
+        Scenario(methodology="otem", cycle="us06", repeat=1, mpc_horizon=n)
+    )
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def test_ablation_horizon(benchmark):
+    results = benchmark.pedantic(
+        lambda: {n: run_horizon(n) for n in HORIZONS}, rounds=1, iterations=1
+    )
+
+    print()
+    print("Ablation - MPC horizon N (US06 x1)")
+    print(f"{'N':>4} {'qloss [%]':>10} {'avg P [kW]':>11} {'wall [s]':>9}")
+    for n in HORIZONS:
+        result, elapsed = results[n]
+        print(
+            f"{n:>4} {result.qloss_percent:>10.4f} "
+            f"{result.metrics.average_power_w / 1000:>11.2f} {elapsed:>9.1f}"
+        )
+
+    shortest = results[HORIZONS[0]][0]
+    default = results[12][0]
+    # a myopic window must not beat the default on capacity loss
+    assert default.qloss_percent <= shortest.qloss_percent * 1.05

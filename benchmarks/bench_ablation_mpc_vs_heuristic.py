@@ -1,0 +1,53 @@
+"""Ablation - is the MPC actually needed?
+
+Runs OTEM against :class:`HybridHeuristicController` - a sensible
+peak-shaving + thermostat policy on *exactly the same plant* (hybrid HEES
++ active cooling).  Whatever OTEM wins here is attributable to the
+optimization (preview, cost coupling, constraint handling), not to the
+hardware.
+
+Expected shape: OTEM ages the battery less than the heuristic at
+comparable (or lower) energy cost.
+"""
+
+from benchmarks.conftest import REPEAT_THERMAL, run_once
+from repro.controllers.heuristic import HybridHeuristicController
+from repro.drivecycle.library import get_cycle
+from repro.sim.engine import Simulator
+from repro.sim.scenario import Scenario, run_scenario
+from repro.ultracap.params import UltracapParams
+from repro.vehicle.powertrain import Powertrain
+
+
+def run_pair():
+    request = Powertrain().power_request(get_cycle("us06", repeat=REPEAT_THERMAL))
+    heuristic = Simulator(
+        HybridHeuristicController(), cap_params=UltracapParams()
+    ).run(request)
+    otem = run_scenario(
+        Scenario(methodology="otem", cycle="us06", repeat=REPEAT_THERMAL)
+    )
+    return {"heuristic": heuristic, "otem": otem}
+
+
+def test_ablation_mpc_vs_heuristic(benchmark):
+    results = run_once(benchmark, run_pair)
+
+    print()
+    print("Ablation - MPC vs heuristic on the same plant (US06 x%d)" % REPEAT_THERMAL)
+    print(f"{'policy':>18} {'qloss [%]':>10} {'avg P [kW]':>11} "
+          f"{'cool E [kWh]':>13} {'unsafe [s]':>11}")
+    for name, result in results.items():
+        m = result.metrics
+        print(
+            f"{name:>18} {m.qloss_percent:>10.4f} "
+            f"{m.average_power_w / 1000:>11.2f} "
+            f"{m.cooling_energy_j / 3.6e6:>13.2f} {m.time_above_safe_s:>11.0f}"
+        )
+
+    otem = results["otem"].metrics
+    heuristic = results["heuristic"].metrics
+    # the optimization must pay for itself on aging...
+    assert otem.qloss_percent < heuristic.qloss_percent
+    # ...without blowing the energy budget (within 10% of the heuristic)
+    assert otem.average_power_w < heuristic.average_power_w * 1.10

@@ -1,0 +1,48 @@
+"""Ablation - cost weights w1/w2/w3 (Eq. 19).
+
+DESIGN.md design choice: w2 prices battery life against energy.  Sweeping
+w2 traces the aging-vs-energy Pareto front the paper's weighted sum
+navigates.
+
+Expected shape: raising w2 monotonically shifts the operating point toward
+lower capacity loss (and never lowers energy consumption).
+"""
+
+from repro.core.cost import CostWeights
+from repro.sim.scenario import Scenario, run_scenario
+
+W2_SWEEP = (1e9, 2e10, 2e11)
+
+
+def run_weight(w2):
+    return run_scenario(
+        Scenario(
+            methodology="otem",
+            cycle="us06",
+            repeat=1,
+            weights=CostWeights(w2=w2),
+        )
+    )
+
+
+def test_ablation_aging_weight(benchmark):
+    results = benchmark.pedantic(
+        lambda: {w2: run_weight(w2) for w2 in W2_SWEEP}, rounds=1, iterations=1
+    )
+
+    print()
+    print("Ablation - aging weight w2 (US06 x1)")
+    print(f"{'w2':>9} {'qloss [%]':>10} {'avg P [kW]':>11} {'cool E [kWh]':>13}")
+    for w2 in W2_SWEEP:
+        m = results[w2].metrics
+        print(
+            f"{w2:>9.0e} {m.qloss_percent:>10.4f} "
+            f"{m.average_power_w / 1000:>11.2f} {m.cooling_energy_j / 3.6e6:>13.2f}"
+        )
+
+    # the heaviest aging weight must produce the least capacity loss
+    qlosses = [results[w2].qloss_percent for w2 in W2_SWEEP]
+    assert qlosses[-1] == min(qlosses)
+    # and it buys that with at least as much cooling
+    cooling = [results[w2].metrics.cooling_energy_j for w2 in W2_SWEEP]
+    assert cooling[-1] >= cooling[0]

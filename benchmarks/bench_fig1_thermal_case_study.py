@@ -1,0 +1,33 @@
+"""Fig. 1 - motivational thermal case study.
+
+Paper: battery temperature under the dual-architecture (threshold-switching)
+thermal management for ultracapacitor sizes {5k, 10k, 20k, 25k} F on US06;
+small banks violate the safe threshold, large banks maintain it.
+
+Expected shape: time-above-limit (and peak temperature) non-increasing with
+bank size.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import REPEAT_THERMAL, run_once
+from repro.analysis.figures import fig1_data
+from repro.analysis.report import render_fig1
+
+SIZES = (5_000, 10_000, 20_000, 25_000)
+
+
+def test_fig1_thermal_case_study(benchmark):
+    data = run_once(
+        benchmark, fig1_data, sizes_f=SIZES, cycle="us06", repeat=REPEAT_THERMAL
+    )
+    print()
+    print(render_fig1(data))
+
+    peaks = [float(np.max(t)) for t in data.temps_k]
+    # shape: the smallest bank must run at least as hot as the largest,
+    # with a meaningful gap (paper Fig. 1 shows several kelvin)
+    assert peaks[0] >= peaks[-1]
+    assert peaks[0] - peaks[-1] > 0.5
+    # violations must not increase with size
+    assert data.violation_s[0] >= data.violation_s[-1]

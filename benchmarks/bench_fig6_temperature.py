@@ -1,0 +1,36 @@
+"""Fig. 6 - battery temperature analysis for the four methodologies.
+
+Paper: on US06 (driven repeatedly, 25,000 F bank), the dual architecture
+reacts only at its threshold, while OTEM keeps the temperature lower
+throughout; the passive parallel architecture runs hottest.
+
+Expected shape: mean temperature OTEM < dual < parallel, and OTEM's peak
+stays below the C1 limit.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import REPEAT_THERMAL, run_once
+from repro.analysis.figures import METHOD_LABELS, fig6_data
+from repro.sim.metrics import SAFE_TEMP_MAX_K
+from repro.utils.units import kelvin_to_celsius
+
+
+def test_fig6_temperature_traces(benchmark):
+    data = run_once(benchmark, fig6_data, cycle="us06", repeat=REPEAT_THERMAL)
+
+    print()
+    print("Fig. 6 - Battery temperature by methodology (US06 x%d)" % REPEAT_THERMAL)
+    print(f"{'methodology':>14} {'mean T [C]':>12} {'peak T [C]':>12}")
+    for m in data.temps_k:
+        print(
+            f"{METHOD_LABELS[m]:>14} "
+            f"{float(kelvin_to_celsius(data.mean_k[m])):>12.1f} "
+            f"{float(kelvin_to_celsius(data.peak_k[m])):>12.1f}"
+        )
+
+    assert data.mean_k["otem"] < data.mean_k["dual"]
+    assert data.mean_k["otem"] < data.mean_k["parallel"]
+    assert data.peak_k["otem"] <= SAFE_TEMP_MAX_K + 0.5
+    # the trace is a real time series, not a constant
+    assert np.std(data.temps_k["otem"]) > 0.1

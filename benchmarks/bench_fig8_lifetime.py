@@ -1,0 +1,31 @@
+"""Fig. 8 - battery lifetime (capacity loss) comparison.
+
+Paper: on {US06, UDDS, HWFET, NYCC, LA92}, capacity loss relative to the
+parallel baseline; OTEM reduces it on every cycle (16.38% on average in the
+paper's figure; ~57% on US06 per Table I).
+
+Expected shape: OTEM ratio < 1 on every cycle and OTEM's ratio is the best
+(smallest) of the managed methodologies per cycle.
+"""
+
+from benchmarks.conftest import REPEAT_SWEEP, run_once
+from repro.analysis.figures import ALL_CYCLES, fig8_data
+from repro.analysis.report import render_fig8
+
+
+def test_fig8_lifetime_comparison(benchmark):
+    data = run_once(benchmark, fig8_data, cycles=ALL_CYCLES, repeat=REPEAT_SWEEP)
+    print()
+    print(render_fig8(data))
+
+    for cycle in data.cycles:
+        ratios = data.qloss_ratio_vs_parallel[cycle]
+        # OTEM always improves on parallel
+        assert ratios["otem"] < 1.0, f"OTEM worse than parallel on {cycle}"
+        # and is the best methodology on every cycle
+        others = [ratios[m] for m in data.methodologies if m != "otem"]
+        assert ratios["otem"] <= min(others) + 1e-9, f"OTEM not best on {cycle}"
+
+    # average reduction in the paper's ballpark (paper: 16.38% across
+    # cycles; our simulator shows larger gains on the aggressive cycles)
+    assert data.mean_qloss_reduction_vs_parallel("otem") > 10.0

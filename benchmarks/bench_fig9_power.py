@@ -1,0 +1,38 @@
+"""Fig. 9 - average power-consumption comparison.
+
+Paper: methodologies with active cooling consume more than the passive
+ones, but OTEM consumes 12.1% less on average than the pure active-cooling
+methodology because the HEES contributes.
+
+Expected shape: parallel cheapest, cooling-only most expensive, OTEM in
+between and strictly cheaper than cooling-only on the aggressive cycles.
+"""
+
+from benchmarks.conftest import REPEAT_SWEEP, run_once
+from repro.analysis.figures import ALL_CYCLES, fig9_data
+from repro.analysis.report import render_fig9
+
+
+def test_fig9_power_comparison(benchmark):
+    data = run_once(benchmark, fig9_data, cycles=ALL_CYCLES, repeat=REPEAT_SWEEP)
+    print()
+    print(render_fig9(data))
+
+    for cycle in data.cycles:
+        power = data.avg_power_w[cycle]
+        # passive parallel is always the cheapest
+        assert power["parallel"] == min(power.values()), f"parallel not cheapest on {cycle}"
+
+    # on the thermally demanding cycles the brute-force cooler is the most
+    # expensive methodology and OTEM undercuts it (the paper's 12.1% claim
+    # lives here; on mild short routes the thermostat barely engages, so
+    # the cooling baseline has no overhead for OTEM to save - documented
+    # in EXPERIMENTS.md)
+    for cycle in ("us06", "la92"):
+        power = data.avg_power_w[cycle]
+        assert power["cooling"] == max(power.values()), f"cooling not priciest on {cycle}"
+        assert power["otem"] < power["cooling"], f"OTEM not cheaper than cooling on {cycle}"
+
+    # paper-magnitude saving on the aggressive cycle (paper average: 12.1%)
+    us06 = data.avg_power_w["us06"]
+    assert us06["otem"] < 0.97 * us06["cooling"]

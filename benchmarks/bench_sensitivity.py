@@ -1,0 +1,32 @@
+"""Extension - calibration-sensitivity sweep.
+
+DESIGN.md section 6 documents the calibration choices this reproduction
+makes.  This bench perturbs each flagged knob +/-10-50% and verifies the
+paper's baseline orderings survive every perturbation - i.e. the
+reproduction's conclusions are not an artifact of one lucky parameter set.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.sensitivity import check_orderings
+
+
+def test_sensitivity_orderings(benchmark):
+    checks = run_once(benchmark, check_orderings, cycle="us06", repeat=3)
+
+    print()
+    print("Extension - calibration sensitivity (US06 x3, baselines)")
+    print(f"{'case':>18} {'dual<par Q':>11} {'cool<par Q':>11} "
+          f"{'par cheapest':>13} {'cool priciest':>14}")
+    for check in checks:
+        print(
+            f"{check.case:>18} {str(check.dual_beats_parallel_qloss):>11} "
+            f"{str(check.cooling_beats_parallel_qloss):>11} "
+            f"{str(check.parallel_cheapest):>13} {str(check.cooling_priciest):>14}"
+        )
+
+    broken = [c.case for c in checks if not c.all_hold]
+    print(f"orderings hold in {len(checks) - len(broken)}/{len(checks)} cases"
+          + (f"; broken: {broken}" if broken else ""))
+
+    # every headline ordering must survive every perturbation
+    assert not broken

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: run OTEM on one US06 cycle and print the headline metrics.
+
+Usage::
+
+    python examples/quickstart.py [cycle] [methodology]
+
+with cycle in {us06, udds, hwfet, nycc, la92} (default us06) and
+methodology in {otem, parallel, cooling, dual} (default otem).
+"""
+
+import sys
+
+from repro import Scenario, run_scenario
+from repro.utils.units import kelvin_to_celsius
+
+
+def main():
+    cycle = sys.argv[1] if len(sys.argv) > 1 else "us06"
+    methodology = sys.argv[2] if len(sys.argv) > 2 else "otem"
+
+    print(f"Running {methodology!r} on {cycle!r} ...")
+    result = run_scenario(Scenario(methodology=methodology, cycle=cycle))
+    m = result.metrics
+
+    print()
+    print(f"Controller:        {result.controller_name}")
+    print(f"Route:             {result.cycle_name} ({m.duration_s:.0f} s)")
+    print(f"Capacity loss:     {m.qloss_percent:.4f} % of rated capacity")
+    print(f"  -> battery lasts {m.blt_routes:,.0f} such routes to end-of-life")
+    print(f"HEES energy:       {m.hees_energy_j / 3.6e6:.2f} kWh")
+    print(f"Average power:     {m.average_power_w / 1000:.2f} kW")
+    print(f"Cooling energy:    {m.cooling_energy_j / 3.6e6:.2f} kWh")
+    print(f"Peak battery temp: {kelvin_to_celsius(m.peak_temp_k):.1f} C "
+          f"({m.time_above_safe_s:.0f} s above the 40 C safety limit)")
+    print(f"Final SoC:         {m.min_soc_percent:.1f} %")
+    print(f"Unmet demand:      {m.unmet_energy_j / 3.6e6:.4f} kWh")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires PEP 660 wheel builds; on offline machines
+without ``wheel`` installed, use ``python setup.py develop`` instead.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""OTEM reproduction: joint thermal + energy management for EV hybrid storage.
+
+Reproduces Vatanparvar & Al Faruque, "OTEM: Optimized Thermal and Energy
+Management for Hybrid Electrical Energy Storage in Electric Vehicles",
+DATE 2016.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the paper-vs-measured record.
+
+Quick start
+-----------
+>>> from repro import Scenario, run_scenario
+>>> result = run_scenario(Scenario(methodology="otem", cycle="us06"))
+>>> result.metrics.qloss_percent  # doctest: +SKIP
+
+Subpackages
+-----------
+``repro.core``
+    OTEM itself: the MPC formulation and the TEB metric.
+``repro.battery`` / ``repro.ultracap`` / ``repro.hees`` / ``repro.cooling``
+    The storage and thermal substrates (paper Section II).
+``repro.vehicle`` / ``repro.drivecycle``
+    Power-request estimation (the ADVISOR substitute).
+``repro.controllers``
+    The state-of-the-art baselines (paper Section IV-B).
+``repro.sim``
+    The discrete-time engine (Algorithm 1) and metrics.
+``repro.analysis``
+    Generators for every table and figure of the evaluation.
+"""
+
+from repro.controllers import (
+    CoolingOnlyController,
+    DualThresholdController,
+    ParallelPassiveController,
+)
+from repro.core import CostWeights, OTEMController
+from repro.sim import Scenario, SimulationResult, Simulator, run_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoolingOnlyController",
+    "DualThresholdController",
+    "ParallelPassiveController",
+    "CostWeights",
+    "OTEMController",
+    "Scenario",
+    "SimulationResult",
+    "Simulator",
+    "run_scenario",
+    "__version__",
+]

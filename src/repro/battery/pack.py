@@ -1,0 +1,311 @@
+"""Battery pack: series/parallel aggregation of cells with lumped state.
+
+The pack exposes exactly the quantities the HEES architectures and the
+cooling loop need:
+
+* electrical: terminal power <-> per-cell current (all series strings share
+  the same current; parallel strings split it evenly in this lumped model),
+* thermal: total generated heat and total heat capacity (the temperature
+  itself is advanced by :class:`repro.cooling.CoolingLoop`, Eq. 14),
+* aging: accumulated capacity loss per Eq. 5.
+
+State updates happen through :meth:`BatteryPack.apply_power`; read-only
+prediction helpers (used by the MPC rollout) never mutate state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.battery.aging import AgingModel
+from repro.battery.electrical import BatteryElectrical
+from repro.battery.params import CellParams, NCR18650A
+from repro.battery.thermal import heat_generation_w
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class PackConfig:
+    """Series/parallel layout of the pack.
+
+    Attributes
+    ----------
+    series:
+        Cells in series per string (sets pack voltage).
+    parallel:
+        Strings in parallel (sets pack capacity and current capability).
+    cell:
+        Cell parameter set.
+    """
+
+    series: int = 96
+    parallel: int = 30
+    cell: CellParams = NCR18650A
+
+    def __post_init__(self):
+        if self.series < 1 or self.parallel < 1:
+            raise ValueError("series and parallel must be >= 1")
+
+    @property
+    def cell_count(self) -> int:
+        """Total number of cells."""
+        return self.series * self.parallel
+
+    @property
+    def nominal_voltage_v(self) -> float:
+        """Nominal pack voltage [V]."""
+        return self.series * self.cell.nominal_voltage_v
+
+    @property
+    def capacity_ah(self) -> float:
+        """Pack capacity [Ah]."""
+        return self.parallel * self.cell.capacity_ah
+
+    @property
+    def energy_kwh(self) -> float:
+        """Nominal pack energy [kWh]."""
+        return self.nominal_voltage_v * self.capacity_ah / 1000.0
+
+    @property
+    def heat_capacity_j_per_k(self) -> float:
+        """Lumped pack heat capacity C_b [J/K] (Eq. 14)."""
+        return self.cell_count * self.cell.heat_capacity_j_per_k
+
+    @property
+    def max_power_w(self) -> float:
+        """Pack discharge-power ceiling [W] at nominal voltage (constraint C6)."""
+        return (
+            self.parallel
+            * self.cell.max_current_a
+            * self.series
+            * self.cell.nominal_voltage_v
+        )
+
+
+#: Default layout: 96s30p NCR18650A, ~32 kWh / ~345 V - a compact-EV-class
+#: pack in a full-size vehicle, which is what makes thermal management
+#: critical (see DESIGN.md and the paper's introduction).
+DEFAULT_PACK = PackConfig()
+
+
+@dataclass
+class PackState:
+    """Mutable pack state carried between simulation steps.
+
+    Capacity loss lives in :class:`repro.battery.aging.AgingModel` (single
+    source of truth); read it via :attr:`BatteryPack.loss_percent`.
+    """
+
+    soc_percent: float = 100.0
+    temp_k: float = 298.0
+
+
+@dataclass(frozen=True)
+class PackStepResult:
+    """Outcome of one electrical step of the pack.
+
+    Attributes
+    ----------
+    cell_current_a:
+        Per-cell current [A] (positive = discharge).
+    pack_current_a:
+        Total pack current [A].
+    terminal_power_w:
+        Power actually delivered at the pack terminals [W] (may be below the
+        request if the current limit clipped it).
+    heat_w:
+        Total heat generated in the pack [W] (Eq. 4 summed over cells).
+    chem_energy_j:
+        Energy drawn from the cell chemistry, Voc*I*dt summed [J]; this is
+        the ``dE_bat`` of the paper's cost function Eq. 19.
+    loss_increment_percent:
+        Capacity loss added this step [%] (Eq. 5).
+    clipped:
+        True when the current limit reduced the delivered power.
+    """
+
+    cell_current_a: float
+    pack_current_a: float
+    terminal_power_w: float
+    heat_w: float
+    chem_energy_j: float
+    loss_increment_percent: float
+    clipped: bool
+
+
+class BatteryPack:
+    """Lumped battery-pack model.
+
+    Parameters
+    ----------
+    config:
+        Series/parallel layout.
+    initial_soc_percent:
+        Starting SoC [%] (Algorithm 1 initializes at 100).
+    initial_temp_k:
+        Starting temperature [K] (Algorithm 1 initializes at 298).
+    """
+
+    #: Constraint C4 bounds.
+    SOC_MIN = 20.0
+    SOC_MAX = 100.0
+
+    def __init__(
+        self,
+        config: PackConfig = DEFAULT_PACK,
+        initial_soc_percent: float = 100.0,
+        initial_temp_k: float = 298.0,
+    ):
+        check_in_range(initial_soc_percent, 0.0, 100.0, "initial_soc_percent")
+        check_positive(initial_temp_k, "initial_temp_k")
+        self._config = config
+        self._electrical = BatteryElectrical(config.cell)
+        self._aging = AgingModel(config.cell)
+        self._state = PackState(
+            soc_percent=initial_soc_percent, temp_k=initial_temp_k
+        )
+
+    # ------------------------------------------------------------------ #
+    # accessors
+
+    @property
+    def config(self) -> PackConfig:
+        """Pack layout."""
+        return self._config
+
+    @property
+    def electrical(self) -> BatteryElectrical:
+        """Cell electrical model (shared with predictive rollouts)."""
+        return self._electrical
+
+    @property
+    def state(self) -> PackState:
+        """Current mutable state."""
+        return self._state
+
+    @property
+    def soc_percent(self) -> float:
+        """State of charge [%]."""
+        return self._state.soc_percent
+
+    @property
+    def temp_k(self) -> float:
+        """Pack temperature [K]."""
+        return self._state.temp_k
+
+    @property
+    def loss_percent(self) -> float:
+        """Accumulated capacity loss [%]."""
+        return self._aging.loss_percent
+
+    def set_temperature(self, temp_k: float):
+        """Update the pack temperature (called by the cooling loop)."""
+        self._state.temp_k = check_positive(temp_k, "temp_k")
+
+    # ------------------------------------------------------------------ #
+    # pack-level electrical quantities
+
+    def open_circuit_voltage(self) -> float:
+        """Pack open-circuit voltage [V] at the current SoC."""
+        cell_voc = float(
+            self._electrical.open_circuit_voltage(self._state.soc_percent)
+        )
+        return self._config.series * cell_voc
+
+    def internal_resistance(self) -> float:
+        """Pack internal resistance [Ohm] at the current SoC and temperature."""
+        cell_r = float(
+            self._electrical.internal_resistance(
+                self._state.soc_percent, self._state.temp_k
+            )
+        )
+        return cell_r * self._config.series / self._config.parallel
+
+    def max_discharge_power_w(self) -> float:
+        """Pack power ceiling [W] at the cell current limit (constraint C6)."""
+        per_cell = self._electrical.max_discharge_power(
+            self._state.soc_percent, self._state.temp_k
+        )
+        return max(0.0, per_cell) * self._config.cell_count
+
+    def discharge_headroom_j(self) -> float:
+        """Usable energy left above the SoC floor [J] (coarse, at nominal V)."""
+        usable_fraction = max(
+            0.0, (self._state.soc_percent - self.SOC_MIN) / 100.0
+        )
+        return usable_fraction * self._config.energy_kwh * 3.6e6
+
+    # ------------------------------------------------------------------ #
+    # stepping
+
+    def apply_power(self, terminal_power_w: float, dt: float) -> PackStepResult:
+        """Draw ``terminal_power_w`` from the pack for ``dt`` seconds.
+
+        Positive power discharges, negative charges (regen or UC recharge
+        routed into the battery is *not* expected here - the HEES router
+        decides where regen goes).  Current is clipped at the cell rating;
+        SoC is clipped at the C4 bounds (an empty pack delivers nothing).
+        Returns the realized step quantities; pack temperature is *not*
+        advanced here (the cooling loop owns Eq. 14).
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        cfg = self._config
+        state = self._state
+        per_cell_power = terminal_power_w / cfg.cell_count
+
+        cell_i = self._electrical.current_for_power(
+            per_cell_power, state.soc_percent, state.temp_k
+        )
+        clipped = False
+        limit = cfg.cell.max_current_a
+        if cell_i > limit:
+            cell_i, clipped = limit, True
+        elif cell_i < -limit:
+            cell_i, clipped = -limit, True
+
+        # an SoC-floor-limited pack cannot discharge; a full pack cannot charge
+        if state.soc_percent <= self.SOC_MIN and cell_i > 0:
+            cell_i, clipped = 0.0, True
+        if state.soc_percent >= self.SOC_MAX and cell_i < 0:
+            cell_i, clipped = 0.0, True
+
+        voc = float(self._electrical.open_circuit_voltage(state.soc_percent))
+        res = float(
+            self._electrical.internal_resistance(state.soc_percent, state.temp_k)
+        )
+        v_term = voc - cell_i * res
+        realized_power = cell_i * v_term * cfg.cell_count
+
+        heat_cell = float(
+            heat_generation_w(
+                cell_i,
+                state.soc_percent,
+                state.temp_k,
+                cfg.cell,
+                electrical=self._electrical,
+            )
+        )
+        heat = max(0.0, heat_cell) * cfg.cell_count
+
+        chem_energy = voc * cell_i * dt * cfg.cell_count
+        loss_inc = self._aging.step(cell_i, state.temp_k, dt)
+
+        new_soc = self._electrical.soc_after(state.soc_percent, cell_i, dt)
+        state.soc_percent = min(self.SOC_MAX, max(0.0, new_soc))
+
+        return PackStepResult(
+            cell_current_a=cell_i,
+            pack_current_a=cell_i * cfg.parallel,
+            terminal_power_w=realized_power,
+            heat_w=heat,
+            chem_energy_j=chem_energy,
+            loss_increment_percent=loss_inc,
+            clipped=clipped,
+        )
+
+    def reset(self, soc_percent: float = 100.0, temp_k: float = 298.0):
+        """Restore initial conditions (fresh route)."""
+        check_in_range(soc_percent, 0.0, 100.0, "soc_percent")
+        self._state = PackState(soc_percent=soc_percent, temp_k=temp_k)
+        self._aging.reset()

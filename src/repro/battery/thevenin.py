@@ -1,0 +1,165 @@
+"""Second-order Thevenin (RC) battery model - the paper's "more detailed
+battery electrical model".
+
+The paper uses the static model V = Voc - I R (Eq. 2-3) and notes that
+"although more detailed battery electrical model may increase behavior
+modeling accuracy, it will not contradict our methodology".  This module
+provides that more detailed model - the series resistance plus two RC
+polarization branches standard in BMS practice:
+
+    V = Voc(SoC) - I R0(SoC,T) - U1 - U2
+    dU_i/dt = -U_i / (R_i C_i) + I / C_i          (i = 1, 2)
+
+with a fast branch (seconds; charge-transfer) and a slow branch (tens of
+seconds; diffusion).  ``tests/battery/test_thevenin.py`` verifies the
+paper's claim: on drive-cycle loads the dynamic model's energy/heat
+deviate from the static model by only a few percent, so the management
+conclusions carry over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.battery.electrical import BatteryElectrical
+from repro.battery.params import CellParams, NCR18650A
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RCBranch:
+    """One polarization branch.
+
+    Attributes
+    ----------
+    resistance_ohm:
+        Branch resistance R_i [Ohm].
+    capacitance_f:
+        Branch capacitance C_i [F]; tau = R_i C_i.
+    """
+
+    resistance_ohm: float
+    capacitance_f: float
+
+    def __post_init__(self):
+        check_positive(self.resistance_ohm, "resistance_ohm")
+        check_positive(self.capacitance_f, "capacitance_f")
+
+    @property
+    def tau_s(self) -> float:
+        """Branch time constant [s]."""
+        return self.resistance_ohm * self.capacitance_f
+
+
+#: Typical 18650 branch values: a ~2 s charge-transfer branch and a ~40 s
+#: diffusion branch, each a fraction of the ohmic resistance.
+DEFAULT_FAST = RCBranch(resistance_ohm=0.012, capacitance_f=180.0)
+DEFAULT_SLOW = RCBranch(resistance_ohm=0.018, capacitance_f=2_200.0)
+
+
+class TheveninCell:
+    """Dynamic cell model with two RC polarization branches.
+
+    Parameters
+    ----------
+    params:
+        Static cell parameters (Voc and the ohmic R come from them; the
+        ohmic part is reduced by the branch resistances so the *total*
+        steady-state resistance matches the static model).
+    fast / slow:
+        The two polarization branches.
+    initial_soc_percent:
+        Starting SoC [%].
+    """
+
+    def __init__(
+        self,
+        params: CellParams = NCR18650A,
+        fast: RCBranch = DEFAULT_FAST,
+        slow: RCBranch = DEFAULT_SLOW,
+        initial_soc_percent: float = 100.0,
+    ):
+        self._p = params
+        self._static = BatteryElectrical(params)
+        self._fast = fast
+        self._slow = slow
+        branch_total = fast.resistance_ohm + slow.resistance_ohm
+        # the static R(SoC, T) is the *steady-state* total; the ohmic part
+        # is what remains after the branches
+        base_r = float(self._static.internal_resistance(50.0, params.res_ref_temp_k))
+        if branch_total >= base_r:
+            raise ValueError(
+                f"branch resistances ({branch_total:.3f} Ohm) must stay below "
+                f"the mid-SoC total resistance ({base_r:.3f} Ohm)"
+            )
+        self._soc = float(initial_soc_percent)
+        self._u1 = 0.0
+        self._u2 = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def soc_percent(self) -> float:
+        """State of charge [%]."""
+        return self._soc
+
+    @property
+    def polarization_v(self) -> tuple:
+        """Current branch voltages (U1, U2) [V]."""
+        return (self._u1, self._u2)
+
+    def ohmic_resistance(self, temp_k: float) -> float:
+        """Instantaneous (ohmic-only) resistance R0 [Ohm]."""
+        total = float(self._static.internal_resistance(self._soc, temp_k))
+        branch = self._fast.resistance_ohm + self._slow.resistance_ohm
+        return max(total - branch, 0.2 * total)
+
+    def terminal_voltage(self, current_a: float, temp_k: float) -> float:
+        """Terminal voltage under load, including polarization [V]."""
+        voc = float(self._static.open_circuit_voltage(self._soc))
+        return (
+            voc
+            - current_a * self.ohmic_resistance(temp_k)
+            - self._u1
+            - self._u2
+        )
+
+    def step(self, current_a: float, temp_k: float, dt: float) -> dict:
+        """Advance the dynamic states one step (positive current discharges).
+
+        Returns a dict with ``terminal_v``, ``heat_w`` (ohmic + both branch
+        dissipations + entropic) and ``chem_power_w`` (Voc x I).
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        v_term = self.terminal_voltage(current_a, temp_k)
+
+        # heat: ohmic + branch dissipation + entropic (Eq. 4 generalized)
+        r0 = self.ohmic_resistance(temp_k)
+        heat = current_a * current_a * r0
+        heat += self._u1 * self._u1 / self._fast.resistance_ohm
+        heat += self._u2 * self._u2 / self._slow.resistance_ohm
+        heat += current_a * temp_k * self._p.entropy_coeff_v_per_k
+
+        chem_power = float(self._static.open_circuit_voltage(self._soc)) * current_a
+
+        # exact exponential update of each branch for a constant-current step
+        import math
+
+        for branch, attr in ((self._fast, "_u1"), (self._slow, "_u2")):
+            u = getattr(self, attr)
+            alpha = math.exp(-dt / branch.tau_s)
+            setattr(
+                self, attr, u * alpha + branch.resistance_ohm * current_a * (1 - alpha)
+            )
+
+        self._soc = self._static.soc_after(self._soc, current_a, dt)
+        self._soc = min(100.0, max(0.0, self._soc))
+
+        return {"terminal_v": v_term, "heat_w": heat, "chem_power_w": chem_power}
+
+    def reset(self, soc_percent: float = 100.0):
+        """Clear polarization and restore SoC."""
+        self._soc = float(soc_percent)
+        self._u1 = 0.0
+        self._u2 = 0.0

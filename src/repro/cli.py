@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      one scenario, print summary metrics.
+``compare``  all four methodologies on one route, print the comparison.
+``table1``   regenerate the paper's Table I.
+``cycles``   list the built-in drive cycles and their statistics.
+``export``   run a scenario and write the full trace to CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.figures import METHOD_LABELS
+from repro.analysis.report import render_table1
+from repro.analysis.tables import table1_data
+from repro.drivecycle.library import available_cycles, get_cycle
+from repro.sim.engine import SimulationResult
+from repro.sim.scenario import METHODOLOGIES, Scenario, run_scenario
+from repro.utils.units import kelvin_to_celsius
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OTEM (DATE 2016) reproduction - EV HEES thermal/energy management",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one scenario and print metrics")
+    _add_scenario_args(run)
+
+    compare = sub.add_parser("compare", help="run all methodologies on one route")
+    _add_scenario_args(compare, with_methodology=False)
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's Table I")
+    table1.add_argument("--repeat", type=int, default=2, help="cycle repetitions")
+
+    sub.add_parser("cycles", help="list built-in drive cycles")
+
+    export = sub.add_parser("export", help="run a scenario, write the trace to CSV")
+    _add_scenario_args(export)
+    export.add_argument("output", help="CSV file to write")
+
+    return parser
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser, with_methodology: bool = True):
+    if with_methodology:
+        parser.add_argument(
+            "--methodology",
+            "-m",
+            choices=METHODOLOGIES,
+            default="otem",
+            help="management policy (default: otem)",
+        )
+    parser.add_argument(
+        "--cycle", "-c", default="us06", help="drive cycle (default: us06)"
+    )
+    parser.add_argument(
+        "--repeat", "-r", type=int, default=1, help="cycle repetitions (default: 1)"
+    )
+    parser.add_argument(
+        "--ucap-farads",
+        type=float,
+        default=25_000.0,
+        help="ultracapacitor bank size [F] (default: 25000)",
+    )
+    parser.add_argument(
+        "--initial-temp-c",
+        type=float,
+        default=24.85,
+        help="initial battery/coolant temperature [C] (default: 24.85 = 298 K)",
+    )
+
+
+def _scenario_from_args(args, methodology: str | None = None) -> Scenario:
+    return Scenario(
+        methodology=methodology or args.methodology,
+        cycle=args.cycle,
+        repeat=args.repeat,
+        ucap_farads=args.ucap_farads,
+        initial_temp_k=args.initial_temp_c + 273.15,
+    )
+
+
+def _print_summary(result: SimulationResult, out):
+    m = result.metrics
+    print(f"controller:      {result.controller_name}", file=out)
+    print(f"route:           {result.cycle_name} ({m.duration_s:.0f} s)", file=out)
+    print(f"capacity loss:   {m.qloss_percent:.4f} %", file=out)
+    print(f"BLT:             {m.blt_routes:,.0f} routes to end-of-life", file=out)
+    print(f"HEES energy:     {m.hees_energy_j / 3.6e6:.2f} kWh", file=out)
+    print(f"average power:   {m.average_power_w / 1000:.2f} kW", file=out)
+    print(f"cooling energy:  {m.cooling_energy_j / 3.6e6:.2f} kWh", file=out)
+    print(
+        f"peak temp:       {kelvin_to_celsius(m.peak_temp_k):.1f} C "
+        f"({m.time_above_safe_s:.0f} s unsafe)",
+        file=out,
+    )
+    print(f"unmet demand:    {m.unmet_energy_j / 3.6e6:.4f} kWh", file=out)
+
+
+def cmd_run(args, out) -> int:
+    result = run_scenario(_scenario_from_args(args))
+    _print_summary(result, out)
+    return 0
+
+
+def cmd_compare(args, out) -> int:
+    results = {}
+    for m in METHODOLOGIES:
+        results[m] = run_scenario(_scenario_from_args(args, methodology=m))
+    base = results["parallel"].metrics.qloss_percent
+    print(
+        f"{'methodology':>14} {'Qloss [%]':>10} {'vs par':>8} "
+        f"{'avg P [kW]':>11} {'peak T [C]':>11}",
+        file=out,
+    )
+    for m, result in results.items():
+        metrics = result.metrics
+        print(
+            f"{METHOD_LABELS[m]:>14} {metrics.qloss_percent:>10.4f} "
+            f"{100 * metrics.qloss_percent / base:>7.1f}% "
+            f"{metrics.average_power_w / 1000:>11.2f} "
+            f"{kelvin_to_celsius(metrics.peak_temp_k):>11.1f}",
+            file=out,
+        )
+    return 0
+
+
+def cmd_table1(args, out) -> int:
+    print(render_table1(table1_data(repeat=args.repeat)), file=out)
+    return 0
+
+
+def cmd_cycles(args, out) -> int:
+    print(
+        f"{'cycle':>8} {'dur [s]':>8} {'dist [km]':>10} "
+        f"{'vmax [km/h]':>12} {'vmean [km/h]':>13} {'stops':>6}",
+        file=out,
+    )
+    for name in available_cycles():
+        s = get_cycle(name).stats()
+        print(
+            f"{name:>8} {s.duration_s:>8.0f} {s.distance_km:>10.2f} "
+            f"{s.max_speed_kmh:>12.1f} {s.mean_speed_kmh:>13.1f} {s.stop_count:>6}",
+            file=out,
+        )
+    return 0
+
+
+def cmd_export(args, out) -> int:
+    from repro.analysis.export import write_trace_csv
+
+    result = run_scenario(_scenario_from_args(args))
+    write_trace_csv(result.trace, args.output)
+    print(f"wrote {len(result.trace)} rows to {args.output}", file=out)
+    _print_summary(result, out)
+    return 0
+
+
+_COMMANDS = {
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "table1": cmd_table1,
+    "cycles": cmd_cycles,
+    "export": cmd_export,
+}
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)

@@ -1,0 +1,115 @@
+"""Controller interface: what the simulator shows a policy and what it gets back.
+
+Every methodology in the paper - the three baselines and OTEM - is a
+:class:`Controller`.  Each control step the simulator builds an
+:class:`Observation` (measured states plus the power-request preview the
+paper's Algorithm 1 feeds the optimizer) and receives a :class:`Decision`
+(ultracapacitor split / switch position / cooler inlet command).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.hees.dual import DualMode
+
+
+class Architecture(enum.Enum):
+    """Which HEES plant a controller drives."""
+
+    PARALLEL = "parallel"
+    DUAL = "dual"
+    HYBRID = "hybrid"
+    BATTERY_ONLY = "battery_only"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Measured system state handed to a controller each step.
+
+    Attributes
+    ----------
+    step_index:
+        Index of the current control step.
+    time_s:
+        Simulation time [s].
+    dt:
+        Control period [s].
+    power_request_w:
+        EV bus power request for this step [W].
+    preview_w:
+        Power-request preview over the control window (Algorithm 1 line 12),
+        ``preview_w[0]`` being this step; zero-padded past route end [W].
+    battery_soc_percent:
+        Battery SoC [%].
+    battery_temp_k:
+        Battery temperature T_b [K].
+    coolant_temp_k:
+        In-pack coolant temperature T_c [K].
+    cap_soe_percent:
+        Ultracapacitor SoE [%].
+    """
+
+    step_index: int
+    time_s: float
+    dt: float
+    power_request_w: float
+    preview_w: np.ndarray
+    battery_soc_percent: float
+    battery_temp_k: float
+    coolant_temp_k: float
+    cap_soe_percent: float
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A controller's commands for one step.
+
+    Attributes
+    ----------
+    cap_bus_w:
+        Hybrid architecture: ultracapacitor bus-power command [W]
+        (positive = discharge the bank).
+    dual_mode:
+        Dual architecture: switch position.
+    recharge_power_w:
+        Dual architecture: battery->bank recharge power [W] in RECHARGE mode.
+    cooling_active:
+        Whether the cooling loop (pump + cooler) runs this step.
+    inlet_temp_k:
+        Commanded coolant inlet temperature T_i [K]; only meaningful when
+        ``cooling_active``.
+    info:
+        Controller-specific diagnostics recorded into the trace.
+    """
+
+    cap_bus_w: float = 0.0
+    dual_mode: DualMode = DualMode.BATTERY
+    recharge_power_w: float = 0.0
+    cooling_active: bool = False
+    inlet_temp_k: float = 298.0
+    info: dict = field(default_factory=dict)
+
+
+@runtime_checkable
+class Controller(Protocol):
+    """A thermal/energy management policy."""
+
+    #: Display name used in reports ("OTEM", "Dual [16]", ...).
+    name: str
+    #: Which plant this policy drives.
+    architecture: Architecture
+    #: Whether the plant includes the active cooling loop.
+    uses_cooling: bool
+
+    def control(self, obs: Observation) -> Decision:
+        """Return the commands for this step."""
+        ...
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh route."""
+        ...

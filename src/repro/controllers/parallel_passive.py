@@ -1,0 +1,26 @@
+"""Baseline [15]: passive parallel architecture.
+
+"There is no thermal or energy management implemented" (paper Section IV-B.1):
+the circuit equations Eq. 10-13 decide the battery/ultracapacitor split and
+there is no cooling loop.  The controller therefore returns an empty
+decision every step.
+"""
+
+from __future__ import annotations
+
+from repro.controllers.base import Architecture, Decision, Observation
+
+
+class ParallelPassiveController:
+    """No-op policy for the parallel architecture."""
+
+    name = "Parallel [15]"
+    architecture = Architecture.PARALLEL
+    uses_cooling = False
+
+    def control(self, obs: Observation) -> Decision:
+        """No commands: the circuit does everything."""
+        return Decision(cooling_active=False)
+
+    def reset(self):
+        """Stateless."""

@@ -1,0 +1,159 @@
+"""Controller wrappers for robustness and failure-injection studies.
+
+The paper assumes clean state measurements and a healthy cooling actuator.
+These wrappers stress both assumptions without touching the wrapped
+policy:
+
+* :class:`NoisyObservations` - deterministic (seeded) Gaussian noise on
+  the measured temperature and SoE before the policy sees them, modelling
+  sensor error in the BMS.
+* :class:`CoolingFailure` - the cooler actuator dies at a given route
+  time; the policy's cooling commands are silently dropped afterwards,
+  modelling a compressor/pump failure the policy is unaware of.
+
+Both preserve the wrapped controller's ``architecture``/``uses_cooling``
+declaration so the simulator builds the same plant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.controllers.base import Controller, Decision, Observation
+from repro.utils.validation import check_in_range, check_positive
+
+
+class NoisyObservations:
+    """Feed a policy noisy temperature / SoE / SoC measurements.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped policy.
+    temp_sigma_k:
+        Standard deviation of the temperature measurement error [K]
+        (applied to battery and coolant temperature independently).
+    soe_sigma_percent / soc_sigma_percent:
+        Standard deviations of the SoE / SoC measurement errors [%].
+    seed:
+        RNG seed; the noise sequence is deterministic per run.
+    """
+
+    def __init__(
+        self,
+        inner: Controller,
+        temp_sigma_k: float = 1.0,
+        soe_sigma_percent: float = 2.0,
+        soc_sigma_percent: float = 1.0,
+        seed: int = 0,
+    ):
+        check_in_range(temp_sigma_k, 0.0, 20.0, "temp_sigma_k")
+        check_in_range(soe_sigma_percent, 0.0, 50.0, "soe_sigma_percent")
+        check_in_range(soc_sigma_percent, 0.0, 50.0, "soc_sigma_percent")
+        self._inner = inner
+        self._temp_sigma = temp_sigma_k
+        self._soe_sigma = soe_sigma_percent
+        self._soc_sigma = soc_sigma_percent
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def name(self) -> str:
+        """Wrapped name with a noise tag."""
+        return f"{self._inner.name}+noise"
+
+    @property
+    def architecture(self):
+        """Same plant as the wrapped policy."""
+        return self._inner.architecture
+
+    @property
+    def uses_cooling(self) -> bool:
+        """Same cooling declaration as the wrapped policy."""
+        return self._inner.uses_cooling
+
+    def control(self, obs: Observation) -> Decision:
+        """Perturb the measured states, then delegate."""
+        noisy = Observation(
+            step_index=obs.step_index,
+            time_s=obs.time_s,
+            dt=obs.dt,
+            power_request_w=obs.power_request_w,
+            preview_w=obs.preview_w,
+            battery_soc_percent=float(
+                np.clip(
+                    obs.battery_soc_percent + self._rng.normal(0, self._soc_sigma),
+                    0.0,
+                    100.0,
+                )
+            ),
+            battery_temp_k=obs.battery_temp_k + self._rng.normal(0, self._temp_sigma),
+            coolant_temp_k=obs.coolant_temp_k + self._rng.normal(0, self._temp_sigma),
+            cap_soe_percent=float(
+                np.clip(
+                    obs.cap_soe_percent + self._rng.normal(0, self._soe_sigma),
+                    0.0,
+                    100.0,
+                )
+            ),
+        )
+        return self._inner.control(noisy)
+
+    def reset(self):
+        """Reset the wrapped policy and restart the noise sequence."""
+        self._inner.reset()
+        self._rng = np.random.default_rng(self._seed)
+
+
+class CoolingFailure:
+    """Kill the cooling actuator at ``fail_at_s`` seconds into the route.
+
+    The wrapped policy keeps issuing cooling commands (it does not know
+    about the failure); this wrapper drops them, which is what a failed
+    compressor looks like from the plant side.  The pump is assumed dead
+    too (no flow).
+    """
+
+    def __init__(self, inner: Controller, fail_at_s: float = 0.0):
+        check_positive(fail_at_s + 1e-9, "fail_at_s")
+        self._inner = inner
+        self._fail_at = fail_at_s
+
+    @property
+    def name(self) -> str:
+        """Wrapped name with a failure tag."""
+        return f"{self._inner.name}+cooling-failure@{self._fail_at:.0f}s"
+
+    @property
+    def architecture(self):
+        """Same plant as the wrapped policy."""
+        return self._inner.architecture
+
+    @property
+    def uses_cooling(self) -> bool:
+        """Same cooling declaration as the wrapped policy."""
+        return self._inner.uses_cooling
+
+    @property
+    def failed(self) -> bool:
+        """Whether the failure time has been passed in the current route."""
+        return self._tripped
+
+    _tripped = False
+
+    def control(self, obs: Observation) -> Decision:
+        """Delegate, then drop cooling commands after the failure time."""
+        decision = self._inner.control(obs)
+        if obs.time_s >= self._fail_at:
+            self._tripped = True
+            return replace(
+                decision, cooling_active=False, inlet_temp_k=obs.coolant_temp_k
+            )
+        return decision
+
+    def reset(self):
+        """Reset the wrapped policy and re-arm the failure."""
+        self._inner.reset()
+        self._tripped = False

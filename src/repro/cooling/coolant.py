@@ -1,0 +1,79 @@
+"""Coolant-loop physical parameters.
+
+Values follow the liquid-cooling configuration of Karimi & Li (the paper's
+reference [25]): a water/glycol loop at a fixed flow rate.  The paper lump-
+models both the cells and the in-pack coolant by their heat capacities
+(Eq. 14-15); the flow term ``C_c (T_i - T_c)`` of Eq. 15 is the capacity
+rate ``m_dot * c_p`` - we keep the two quantities as separate named fields
+to avoid the paper's symbol overloading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class CoolantParams:
+    """Active-cooling-loop parameters (Eq. 14-16).
+
+    Attributes
+    ----------
+    h_battery_coolant_w_per_k:
+        Heat-transfer coefficient h_cb = h_bc between pack and coolant [W/K].
+    coolant_heat_capacity_j_per_k:
+        Thermal capacity of the coolant resident in the pack [J/K]
+        (the C_c multiplying dT_c/dt in Eq. 15).
+    flow_capacity_rate_w_per_k:
+        m_dot * c_p of the circulating coolant [W/K]
+        (the C_c inside the flow term of Eq. 15 and in Eq. 16).
+    cooler_efficiency:
+        eta_c of Eq. 16 (effectively a COP-like factor; > 0).
+    max_cooler_power_w:
+        Constraint C3 ceiling on cooler electrical power [W].
+    min_inlet_temp_k:
+        Coldest inlet the cooler can produce [K].
+    pump_power_w:
+        Constant pump power P_m [W] (fixed flow rate per the paper).
+    passive_h_w_per_k:
+        Pack-surface-to-ambient convection [W/K] for architectures that
+        have *no* active cooling system (parallel [15] and dual [16] use
+        conventional air-exposed packs); the actively-cooled pack is sealed
+        ("completely isolated from outside", Section II-D) and never sees
+        this path.
+    ambient_temp_k:
+        Ambient air temperature for the passive path [K].
+    """
+
+    h_battery_coolant_w_per_k: float = 600.0
+    coolant_heat_capacity_j_per_k: float = 14_000.0
+    flow_capacity_rate_w_per_k: float = 350.0
+    cooler_efficiency: float = 0.55
+    max_cooler_power_w: float = 8_000.0
+    min_inlet_temp_k: float = 288.15
+    pump_power_w: float = 50.0
+    passive_h_w_per_k: float = 50.0
+    ambient_temp_k: float = 298.15
+
+    def __post_init__(self):
+        check_positive(self.h_battery_coolant_w_per_k, "h_battery_coolant_w_per_k")
+        check_positive(
+            self.coolant_heat_capacity_j_per_k, "coolant_heat_capacity_j_per_k"
+        )
+        check_positive(self.flow_capacity_rate_w_per_k, "flow_capacity_rate_w_per_k")
+        check_positive(self.cooler_efficiency, "cooler_efficiency")
+        check_positive(self.max_cooler_power_w, "max_cooler_power_w")
+        check_positive(self.min_inlet_temp_k, "min_inlet_temp_k")
+        check_in_range(self.pump_power_w, 0.0, 10_000.0, "pump_power_w")
+        check_in_range(self.passive_h_w_per_k, 0.0, 10_000.0, "passive_h_w_per_k")
+        check_positive(self.ambient_temp_k, "ambient_temp_k")
+
+    def max_inlet_drop_k(self, outlet_temp_k: float) -> float:
+        """Largest ``T_o - T_i`` the cooler can produce within C3 [K]."""
+        return self.cooler_efficiency * self.max_cooler_power_w / self.flow_capacity_rate_w_per_k
+
+
+#: Default liquid loop per reference [25]'s configuration class.
+DEFAULT_COOLANT = CoolantParams()

@@ -1,0 +1,53 @@
+"""OTEM: Optimized Thermal and Energy Management (paper Section III).
+
+The controller solves, every control period, the finite-horizon program of
+Eq. 18-19: minimize
+
+    F = sum_k  w1 * P_c dt  +  w2 * Q_loss  +  w3 * (dE_bat + dE_cap)
+
+over the ultracapacitor power split and the coolant inlet temperature,
+subject to the discretized plant dynamics (Eq. 17) and constraints C1-C7.
+States are eliminated by forward rollout (single shooting); state
+constraints become smooth hinge penalties; terminal states are priced at
+their restoration cost so the horizon-end ultracapacitor depletion or
+battery heat-up is never "free" (see DESIGN.md section 6).
+
+Public API
+----------
+``OTEMController``
+    Drop-in :class:`repro.controllers.base.Controller` for the hybrid
+    architecture with active cooling.
+``CostWeights``
+    w1/w2/w3 of Eq. 19 plus penalty/terminal shaping.
+``MPCPlanner`` / ``PredictionModel``
+    The optimizer and the rollout it optimizes over.
+``teb_trace`` / ``TEBParams``
+    The paper's Thermal-and-Energy-Budget metric.
+"""
+
+from repro.core.cost import CostWeights
+from repro.core.estimator import FilteredObservations, ThermalKalmanFilter
+from repro.core.rollout import PredictionModel, RolloutResult
+from repro.core.mpc import MPCPlan, MPCPlanner
+from repro.core.otem import OTEMController
+from repro.core.teb import (
+    TEBParams,
+    teb_preparation_score,
+    teb_trace,
+    upcoming_demand_w,
+)
+
+__all__ = [
+    "CostWeights",
+    "FilteredObservations",
+    "ThermalKalmanFilter",
+    "PredictionModel",
+    "RolloutResult",
+    "MPCPlan",
+    "MPCPlanner",
+    "OTEMController",
+    "TEBParams",
+    "teb_preparation_score",
+    "teb_trace",
+    "upcoming_demand_w",
+]

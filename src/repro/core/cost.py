@@ -1,0 +1,101 @@
+"""Cost weights for the OTEM objective (paper Eq. 19) and its shaping terms.
+
+The paper's cost is
+
+    F = sum  w1 (P_c dt)  +  w2 Q_loss  +  w3 (dE_bat + dE_cap).
+
+The units differ wildly (joules vs percent), so the defaults put the three
+terms on comparable footing for the default pack:
+
+* cooling energy and HEES energy are joules -> w1 = w3 = 1 keeps them
+  directly comparable (a cooling joule is worth a driving joule);
+* Q_loss over one aggressive route is O(1e-1) percent while energies are
+  O(1e7) J, so w2 ~ 5e10 makes a percent of battery life worth ~50 MJ,
+  i.e. the controller will spend ~1.4 kWh of cooling/HEES energy to save
+  0.1% capacity - the trade the paper's Fig. 8/9 exhibit.
+
+``hinge_*`` are the quadratic penalty gains for the softened state
+constraints C1/C4/C5/C6; ``terminal_*`` price the horizon-end state at its
+restoration cost (see DESIGN.md section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Objective weights of the OTEM MPC.
+
+    Attributes
+    ----------
+    w1:
+        Weight of the active-cooling energy term [-/J].
+    w2:
+        Weight of the capacity-loss term [-/%].
+    w3:
+        Weight of the HEES energy term [-/J].
+    hinge_temp:
+        Quadratic penalty gain on T_b above the C1 limit [1/K^2].
+    hinge_soc:
+        Quadratic penalty gain on SoC below the C4 floor [1/%^2].
+    hinge_soe:
+        Quadratic penalty gain on SoE outside the C5 window [1/%^2].
+    hinge_power:
+        Quadratic penalty gain on battery power above C6 [1/W^2].
+    terminal_soe_ref:
+        SoE the horizon end is priced against [%] - the "energy budget"
+        OTEM keeps in reserve.
+    terminal_temp_ref:
+        Temperature the horizon end is priced against [K] - the "thermal
+        budget" (pre-cooled headroom).
+    terminal_energy_gain:
+        Multiplier on the refill-energy price of a depleted bank [-].
+    terminal_thermal_gain:
+        Multiplier on the cooling-energy price of a hot pack [-].
+    terminal_refill_power_w:
+        Battery power assumed for the post-horizon bank refill [W]; prices
+        the *aging* incurred by recharging, so draining the bank is never
+        treated as free battery rest (see DESIGN.md section 6).
+    terminal_future_s:
+        Characteristic driving time beyond the horizon [s] over which a
+        hot pack keeps aging faster; prices horizon-end temperature in
+        aging currency (the lever that makes pre-cooling rational inside a
+        horizon too short to see its aging payoff directly).
+    terminal_typical_current_a:
+        Per-cell current assumed for that future driving [A].
+    """
+
+    w1: float = 1.0
+    w2: float = 2.0e11
+    w3: float = 1.0
+    hinge_temp: float = 1.0e7
+    hinge_soc: float = 1.0e7
+    hinge_soe: float = 1.0e7
+    hinge_power: float = 3.0e-2
+    terminal_soe_ref: float = 85.0
+    terminal_temp_ref: float = 298.15
+    terminal_energy_gain: float = 1.3
+    terminal_thermal_gain: float = 1.5
+    terminal_refill_power_w: float = 8_000.0
+    terminal_future_s: float = 900.0
+    terminal_typical_current_a: float = 2.0
+
+    def __post_init__(self):
+        check_in_range(self.w1, 0.0, 1e12, "w1")
+        check_in_range(self.w2, 0.0, 1e15, "w2")
+        check_in_range(self.w3, 0.0, 1e12, "w3")
+        check_positive(self.hinge_temp, "hinge_temp")
+        check_positive(self.hinge_soc, "hinge_soc")
+        check_positive(self.hinge_soe, "hinge_soe")
+        check_positive(self.hinge_power, "hinge_power")
+        check_in_range(self.terminal_soe_ref, 0.0, 100.0, "terminal_soe_ref")
+        check_positive(self.terminal_temp_ref, "terminal_temp_ref")
+        check_in_range(self.terminal_energy_gain, 0.0, 100.0, "terminal_energy_gain")
+        check_in_range(self.terminal_thermal_gain, 0.0, 100.0, "terminal_thermal_gain")
+        check_positive(self.terminal_refill_power_w, "terminal_refill_power_w")
+        check_positive(self.terminal_future_s, "terminal_future_s")
+        check_positive(self.terminal_typical_current_a, "terminal_typical_current_a")

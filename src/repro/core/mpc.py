@@ -1,0 +1,283 @@
+"""The OTEM MPC optimizer (paper Eq. 18-19, Algorithm 1 line 14).
+
+Single-shooting formulation: the decision vector is the horizon's
+ultracapacitor bus-power commands and coolant inlet temperatures
+(2N variables, normalized to [0, 1] for conditioning); states are
+eliminated by :class:`repro.core.rollout.PredictionModel`.  Input bounds
+realize constraints C2/C3/C7; the rollout's hinge penalties realize
+C1/C4/C5/C6.  ``scipy.optimize.minimize(L-BFGS-B)`` solves the NLP,
+warm-started from the previous plan shifted by one step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.rollout import PredictionModel, RolloutResult
+
+
+@dataclass(frozen=True)
+class MPCPlan:
+    """One solved horizon.
+
+    Attributes
+    ----------
+    cap_bus_w:
+        Planned ultracap bus power per horizon step [W].
+    inlet_temp_k:
+        Planned coolant inlet temperature per horizon step [K].
+    predicted:
+        Detailed rollout of the optimal plan.
+    solver_iterations:
+        L-BFGS-B iteration count (diagnostics / ablation benches).
+    solver_cost:
+        Achieved objective value.
+    """
+
+    cap_bus_w: np.ndarray
+    inlet_temp_k: np.ndarray
+    predicted: RolloutResult
+    solver_iterations: int
+    solver_cost: float
+
+    @property
+    def horizon(self) -> int:
+        """Number of steps in the plan."""
+        return self.cap_bus_w.size
+
+
+class MPCPlanner:
+    """Solves the OTEM horizon problem.
+
+    Parameters
+    ----------
+    model:
+        The prediction model (physics + objective).
+    horizon:
+        Control-window length N (steps).
+    step_s:
+        Horizon step duration [s] (the paper's sampling period, Eq. 17).
+    cap_power_bound_w:
+        Symmetric bound on the ultracap bus command [W]; defaults to the
+        bank/converter rating from the model.
+    inlet_span_k:
+        (min, max) commanded inlet temperature [K]; the rollout further
+        clamps by the dynamic C2/C3 limits.
+    max_function_evals:
+        Budget per solve (speed/quality knob, used by the ablation bench).
+    method:
+        ``"penalty"`` (default): multi-start L-BFGS-B with the state
+        constraints as quadratic hinges inside the objective - fast and
+        robust.  ``"slsqp"``: SLSQP with C1/C4/C5 as *explicit* inequality
+        constraints, the literal form of the paper's Eq. 18 - slower, and
+        useful for validating the penalty formulation against it
+        (benchmarks/bench_ablation_solver.py).
+    """
+
+    #: Supported solver formulations.
+    METHODS = ("penalty", "slsqp")
+
+    def __init__(
+        self,
+        model: PredictionModel,
+        horizon: int = 12,
+        step_s: float = 5.0,
+        cap_power_bound_w: float | None = None,
+        inlet_span_k: tuple = (288.15, 312.0),
+        max_function_evals: int = 150,
+        method: str = "penalty",
+    ):
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if step_s <= 0:
+            raise ValueError("step_s must be positive")
+        if method not in self.METHODS:
+            raise ValueError(f"method must be one of {self.METHODS}, got {method!r}")
+        self._method = method
+        self._model = model
+        self._n = horizon
+        self._dt = step_s
+        bound = cap_power_bound_w if cap_power_bound_w is not None else model.cap_pmax
+        self._cap_lo, self._cap_hi = -bound, bound
+        self._inlet_lo, self._inlet_hi = inlet_span_k
+        if self._inlet_lo >= self._inlet_hi:
+            raise ValueError("inlet_span_k must be increasing")
+        self._maxfun = max_function_evals
+        self._last_z: np.ndarray | None = None
+
+    @property
+    def horizon(self) -> int:
+        """Control-window length N."""
+        return self._n
+
+    @property
+    def step_s(self) -> float:
+        """Horizon step duration [s]."""
+        return self._dt
+
+    # ------------------------------------------------------------------ #
+
+    def _denormalize(self, z: np.ndarray) -> tuple:
+        n = self._n
+        cap = self._cap_lo + z[:n] * (self._cap_hi - self._cap_lo)
+        inlet = self._inlet_lo + z[n:] * (self._inlet_hi - self._inlet_lo)
+        return cap, inlet
+
+    def _initial_guess(self, coolant_temp_k: float) -> np.ndarray:
+        """Neutral plan: no ultracap use, no cooling (inlet at T_c)."""
+        n = self._n
+        z = np.empty(2 * n)
+        z[:n] = (0.0 - self._cap_lo) / (self._cap_hi - self._cap_lo)
+        inlet_neutral = min(max(coolant_temp_k, self._inlet_lo), self._inlet_hi)
+        z[n:] = (inlet_neutral - self._inlet_lo) / (self._inlet_hi - self._inlet_lo)
+        return z
+
+    def _full_cool_guess(self) -> np.ndarray:
+        """Aggressive plan: no ultracap use, coldest inlet every step."""
+        n = self._n
+        z = np.empty(2 * n)
+        z[:n] = (0.0 - self._cap_lo) / (self._cap_hi - self._cap_lo)
+        z[n:] = 0.0
+        return z
+
+    def _warm_start(self, coolant_temp_k: float) -> np.ndarray:
+        if self._last_z is None:
+            return self._initial_guess(coolant_temp_k)
+        n = self._n
+        z = self._last_z.copy()
+        # shift both input blocks one step left, repeating the tail
+        z[: n - 1] = z[1:n]
+        z[n : 2 * n - 1] = z[n + 1 :]
+        return np.clip(z, 0.0, 1.0)
+
+    def reset(self):
+        """Forget the warm start (fresh route)."""
+        self._last_z = None
+
+    # ------------------------------------------------------------------ #
+    # solver backends
+
+    def _solve_penalty(self, objective, state, n):
+        """Multi-start L-BFGS-B on the hinge-penalty objective.
+
+        The clamp/hinge kinks can stall a single run, so race the warm
+        start against two structured plans and keep the best (see
+        tests/core/test_mpc.py::test_multistart_escapes_stall).
+        """
+        starts = [self._warm_start(state[1]), self._full_cool_guess()]
+        if self._last_z is not None:
+            starts.append(self._initial_guess(state[1]))
+        best = None
+        iterations = 0
+        for z0 in starts:
+            result = optimize.minimize(
+                objective,
+                z0,
+                method="L-BFGS-B",
+                bounds=[(0.0, 1.0)] * (2 * n),
+                options={
+                    "maxfun": self._maxfun,
+                    "maxiter": 60,
+                    "eps": 3e-3,
+                    "ftol": 1e-12,
+                },
+            )
+            iterations += int(result.nit)
+            if best is None or result.fun < best.fun:
+                best = result
+        best.nit = iterations
+        return best
+
+    def _solve_slsqp(self, state, preview, step):
+        """SLSQP with C1/C4/C5 as explicit inequality constraints (Eq. 18).
+
+        Objective and constraints share one cached rollout per decision
+        vector (SLSQP evaluates them separately, the rollout dominates).
+        """
+        from repro.core.rollout import TEMP_MAX_K
+
+        model = self._model
+        n = self._n
+        cache = {"key": None, "value": None}
+
+        def evaluate(z):
+            key = z.tobytes()
+            if cache["key"] != key:
+                cap, inlet = self._denormalize(z)
+                cache["value"] = model.rollout(
+                    state, list(cap), list(inlet), preview, step
+                )
+                cache["key"] = key
+            return cache["value"]
+
+        def objective(z):
+            r = evaluate(z)
+            return r.objective + r.terminal
+
+        def constraints(z):
+            r = evaluate(z)
+            temps = np.asarray(r.temps_k[1:])
+            socs = np.asarray(r.socs[1:])
+            soes = np.asarray(r.soes[1:])
+            return np.concatenate(
+                [
+                    TEMP_MAX_K - temps,          # C1
+                    socs - 20.0,                 # C4
+                    soes - model.soe_min,        # C5 lower
+                    model.soe_max - soes,        # C5 upper
+                ]
+            )
+
+        result = optimize.minimize(
+            objective,
+            self._warm_start(state[1]),
+            method="SLSQP",
+            bounds=[(0.0, 1.0)] * (2 * n),
+            constraints=[{"type": "ineq", "fun": constraints}],
+            options={"maxiter": max(20, self._maxfun // 10), "ftol": 1e-9},
+        )
+        return result
+
+    def plan(self, state: tuple, preview_w: np.ndarray, dt: float | None = None) -> MPCPlan:
+        """Solve one horizon.
+
+        Parameters
+        ----------
+        state:
+            (T_b, T_c, SoC, SoE) at the start of the horizon.
+        preview_w:
+            Predicted EV power per horizon step [W], length >= N (extra
+            entries are ignored).
+        dt:
+            Optional override of the horizon step duration [s].
+        """
+        n = self._n
+        step = self._dt if dt is None else dt
+        preview = [float(p) for p in np.asarray(preview_w, dtype=float)[:n]]
+        if len(preview) < n:
+            preview = preview + [0.0] * (n - len(preview))
+
+        model = self._model
+
+        def objective(z: np.ndarray) -> float:
+            cap, inlet = self._denormalize(z)
+            return model.rollout_cost(state, list(cap), list(inlet), preview, step)
+
+        if self._method == "slsqp":
+            result = self._solve_slsqp(state, preview, step)
+        else:
+            result = self._solve_penalty(objective, state, n)
+        z_opt = np.clip(result.x, 0.0, 1.0)
+        self._last_z = z_opt
+        cap, inlet = self._denormalize(z_opt)
+        predicted = model.rollout(state, list(cap), list(inlet), preview, step)
+        return MPCPlan(
+            cap_bus_w=cap,
+            inlet_temp_k=inlet,
+            predicted=predicted,
+            solver_iterations=int(result.nit),
+            solver_cost=float(result.fun),
+        )

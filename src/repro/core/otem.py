@@ -1,0 +1,179 @@
+"""The OTEM controller (paper Section III, Algorithm 1).
+
+Drives the hybrid HEES architecture plus the active cooling loop.  Every
+``replan_every`` plant steps it aggregates the fine-grained power preview
+into the MPC's coarser horizon bins, solves the Eq. 18-19 program, and then
+applies the solved first-horizon-step inputs until the next replan (standard
+receding-horizon operation with move blocking).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.battery.pack import DEFAULT_PACK, BatteryPack, PackConfig
+from repro.controllers.base import Architecture, Decision, Observation
+from repro.cooling.coolant import DEFAULT_COOLANT, CoolantParams
+from repro.core.cost import CostWeights
+from repro.core.mpc import MPCPlanner
+from repro.core.rollout import PredictionModel
+from repro.hees.hybrid import default_battery_converter, default_cap_converter
+from repro.ultracap.bank import UltracapBank
+from repro.ultracap.params import UltracapParams
+
+
+class OTEMController:
+    """Optimized Thermal and Energy Management.
+
+    Parameters
+    ----------
+    pack_config:
+        Battery pack layout (must match the simulated plant).
+    cap_params:
+        Ultracapacitor bank parameters (must match the simulated plant).
+    coolant:
+        Cooling-loop parameters (must match the simulated plant).
+    weights:
+        Objective weights (Eq. 19).
+    horizon:
+        MPC control-window length N (coarse steps).
+    mpc_step_s:
+        Coarse horizon step duration [s].
+    max_function_evals:
+        Solver budget per replan.
+    preview_mode:
+        ``"perfect"`` uses the route preview (the paper's assumption: power
+        requests predicted from the drive route); ``"persistence"`` assumes
+        the current request persists over the window - the no-preview
+        ablation (see benchmarks/bench_ablation_preview.py).
+    mpc_method:
+        Solver formulation, ``"penalty"`` or ``"slsqp"`` (see
+        :class:`repro.core.mpc.MPCPlanner`).
+
+    Notes
+    -----
+    The controller replans every ``mpc_step_s`` seconds of plant time; at
+    1 Hz plant sampling that is every ``mpc_step_s`` plant steps.  The
+    simulator must be built with ``preview_steps >= horizon * mpc_step_s /
+    plant_dt`` so the MPC sees its whole window (use
+    :func:`OTEMController.required_preview_steps`).
+    """
+
+    name = "OTEM"
+    architecture = Architecture.HYBRID
+    uses_cooling = True
+
+    def __init__(
+        self,
+        pack_config: PackConfig = DEFAULT_PACK,
+        cap_params: UltracapParams | None = None,
+        coolant: CoolantParams = DEFAULT_COOLANT,
+        weights: CostWeights | None = None,
+        horizon: int = 12,
+        mpc_step_s: float = 5.0,
+        max_function_evals: int = 150,
+        preview_mode: str = "perfect",
+        mpc_method: str = "penalty",
+    ):
+        if preview_mode not in ("perfect", "persistence"):
+            raise ValueError(
+                f"preview_mode must be 'perfect' or 'persistence', got {preview_mode!r}"
+            )
+        self._preview_mode = preview_mode
+        self._pack_config = pack_config
+        self._cap_params = cap_params if cap_params is not None else UltracapParams()
+        self._coolant = coolant
+        self._weights = weights if weights is not None else CostWeights()
+
+        # converters identical to the plant's defaults so predictions match
+        pack_probe = BatteryPack(pack_config)
+        bank_probe = UltracapBank(self._cap_params)
+        model = PredictionModel(
+            pack_config,
+            self._cap_params,
+            coolant,
+            default_battery_converter(pack_probe),
+            default_cap_converter(bank_probe),
+            self._weights,
+        )
+        self._planner = MPCPlanner(
+            model,
+            horizon=horizon,
+            step_s=mpc_step_s,
+            max_function_evals=max_function_evals,
+            method=mpc_method,
+        )
+        self._plan = None
+        self._plan_step_index = -1
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def planner(self) -> MPCPlanner:
+        """The underlying MPC planner."""
+        return self._planner
+
+    @property
+    def weights(self) -> CostWeights:
+        """Objective weights in use."""
+        return self._weights
+
+    def required_preview_steps(self, plant_dt: float) -> int:
+        """Preview length the simulator must provide at plant sampling."""
+        return int(np.ceil(self._planner.horizon * self._planner.step_s / plant_dt))
+
+    def _aggregate_preview(self, preview_w: np.ndarray, plant_dt: float) -> np.ndarray:
+        """Average the fine preview into the MPC's coarse horizon bins."""
+        per_bin = max(1, int(round(self._planner.step_s / plant_dt)))
+        n = self._planner.horizon
+        needed = per_bin * n
+        fine = np.asarray(preview_w, dtype=float)
+        if fine.size < needed:
+            fine = np.concatenate([fine, np.zeros(needed - fine.size)])
+        return fine[:needed].reshape(n, per_bin).mean(axis=1)
+
+    def control(self, obs: Observation) -> Decision:
+        """Receding-horizon control with move blocking."""
+        steps_per_replan = max(1, int(round(self._planner.step_s / obs.dt)))
+        due = (
+            self._plan is None
+            or (obs.step_index - self._plan_step_index) >= steps_per_replan
+        )
+        if due:
+            if self._preview_mode == "persistence":
+                fine = np.full_like(
+                    np.asarray(obs.preview_w, dtype=float), obs.power_request_w
+                )
+            else:
+                fine = obs.preview_w
+            coarse_preview = self._aggregate_preview(fine, obs.dt)
+            state = (
+                obs.battery_temp_k,
+                obs.coolant_temp_k,
+                obs.battery_soc_percent,
+                obs.cap_soe_percent,
+            )
+            self._plan = self._planner.plan(state, coarse_preview)
+            self._plan_step_index = obs.step_index
+
+        cap_cmd = float(self._plan.cap_bus_w[0])
+        inlet_cmd = float(self._plan.inlet_temp_k[0])
+        # cooling engages only when the plan actually asks for a colder
+        # inlet; a hair below T_c means "pump only"
+        cooling = inlet_cmd < obs.coolant_temp_k - 0.05
+        return Decision(
+            cap_bus_w=cap_cmd,
+            cooling_active=True,
+            inlet_temp_k=inlet_cmd if cooling else obs.coolant_temp_k,
+            info={
+                "replanned": due,
+                "solver_cost": self._plan.solver_cost,
+                "solver_iterations": self._plan.solver_iterations,
+            },
+        )
+
+    def reset(self):
+        """Forget the current plan and warm start (fresh route)."""
+        self._plan = None
+        self._plan_step_index = -1
+        self._planner.reset()

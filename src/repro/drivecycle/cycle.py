@@ -1,0 +1,205 @@
+"""The :class:`DriveCycle` container.
+
+A drive cycle is an immutable, uniformly sampled speed-vs-time trace.  The
+vehicle model (``repro.vehicle``) turns it into a power-request trace; the
+controllers never see the cycle directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import mps_to_kmh
+from repro.utils.validation import check_finite, check_positive
+
+
+@dataclass(frozen=True)
+class CycleStats:
+    """Aggregate statistics of a drive cycle.
+
+    Attributes
+    ----------
+    duration_s:
+        Total duration [s].
+    distance_km:
+        Total distance travelled [km].
+    max_speed_kmh:
+        Peak speed [km/h].
+    mean_speed_kmh:
+        Time-averaged speed including idle [km/h].
+    mean_moving_speed_kmh:
+        Time-averaged speed over samples with speed > 0.3 m/s [km/h].
+    stop_count:
+        Number of distinct stopped intervals (speed below 0.3 m/s for at
+        least 2 s), excluding a leading stop at t=0.
+    idle_fraction:
+        Fraction of samples with speed below 0.3 m/s.
+    max_accel_ms2:
+        Peak acceleration [m/s^2].
+    max_decel_ms2:
+        Peak deceleration magnitude [m/s^2].
+    """
+
+    duration_s: float
+    distance_km: float
+    max_speed_kmh: float
+    mean_speed_kmh: float
+    mean_moving_speed_kmh: float
+    stop_count: int
+    idle_fraction: float
+    max_accel_ms2: float
+    max_decel_ms2: float
+
+
+class DriveCycle:
+    """A uniformly sampled speed trace.
+
+    Parameters
+    ----------
+    name:
+        Human-readable cycle name (e.g. ``"US06"``).
+    speed_mps:
+        Speed samples [m/s], one per ``dt`` seconds, first sample at t=0.
+    dt:
+        Sample period [s].
+    """
+
+    #: Speeds below this threshold count as "stopped" [m/s].
+    STOP_SPEED_MPS = 0.3
+
+    def __init__(self, name: str, speed_mps, dt: float = 1.0):
+        self._name = str(name)
+        self._dt = check_positive(dt, "dt")
+        speed = np.array(speed_mps, dtype=float)
+        if speed.ndim != 1 or speed.size < 2:
+            raise ValueError("speed_mps must be a 1-D trace with at least 2 samples")
+        check_finite(speed, "speed_mps")
+        if np.any(speed < 0):
+            raise ValueError("speed_mps must be non-negative")
+        speed.setflags(write=False)
+        self._speed = speed
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+
+    @property
+    def name(self) -> str:
+        """Cycle name."""
+        return self._name
+
+    @property
+    def dt(self) -> float:
+        """Sample period [s]."""
+        return self._dt
+
+    @property
+    def speed_mps(self) -> np.ndarray:
+        """Read-only speed samples [m/s]."""
+        return self._speed
+
+    @property
+    def time_s(self) -> np.ndarray:
+        """Sample times [s], starting at 0."""
+        return np.arange(self._speed.size) * self._dt
+
+    @property
+    def duration_s(self) -> float:
+        """Total duration [s] (time of the last sample)."""
+        return (self._speed.size - 1) * self._dt
+
+    def __len__(self) -> int:
+        return self._speed.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DriveCycle({self._name!r}, n={len(self)}, dt={self._dt}, "
+            f"duration={self.duration_s:.0f}s)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+
+    def acceleration_ms2(self) -> np.ndarray:
+        """Central-difference acceleration trace [m/s^2], same length as speed."""
+        return np.gradient(self._speed, self._dt)
+
+    def distance_m(self) -> float:
+        """Total distance [m] by trapezoidal integration of speed."""
+        return float(np.trapezoid(self._speed, dx=self._dt))
+
+    def stats(self) -> CycleStats:
+        """Compute :class:`CycleStats` for this cycle."""
+        speed = self._speed
+        moving = speed > self.STOP_SPEED_MPS
+        mean_speed = float(np.mean(speed))
+        mean_moving = float(np.mean(speed[moving])) if np.any(moving) else 0.0
+        accel = self.acceleration_ms2()
+        return CycleStats(
+            duration_s=self.duration_s,
+            distance_km=self.distance_m() / 1000.0,
+            max_speed_kmh=float(mps_to_kmh(np.max(speed))),
+            mean_speed_kmh=float(mps_to_kmh(mean_speed)),
+            mean_moving_speed_kmh=float(mps_to_kmh(mean_moving)),
+            stop_count=self._count_stops(),
+            idle_fraction=float(np.mean(~moving)),
+            max_accel_ms2=float(np.max(accel)),
+            max_decel_ms2=float(-np.min(accel)),
+        )
+
+    def _count_stops(self) -> int:
+        """Count distinct stopped intervals of at least 2 s, excluding t=0."""
+        stopped = self._speed <= self.STOP_SPEED_MPS
+        min_samples = max(1, int(round(2.0 / self._dt)))
+        count = 0
+        run = 0
+        run_start = 0
+        for i, flag in enumerate(stopped):
+            if flag:
+                if run == 0:
+                    run_start = i
+                run += 1
+            else:
+                if run >= min_samples and run_start > 0:
+                    count += 1
+                run = 0
+        if run >= min_samples and run_start > 0:
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # transformations
+
+    def repeat(self, times: int) -> "DriveCycle":
+        """Concatenate this cycle with itself ``times`` times.
+
+        The repeated trace drops the duplicated boundary sample so that the
+        joined speed is continuous (the cycles all start and end near zero
+        speed, so no splicing ramp is needed).
+        """
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        if times == 1:
+            return self
+        pieces = [self._speed]
+        for _ in range(times - 1):
+            pieces.append(self._speed[1:])
+        name = f"{self._name}x{times}"
+        return DriveCycle(name, np.concatenate(pieces), self._dt)
+
+    def resample(self, dt: float) -> "DriveCycle":
+        """Linearly resample the trace onto a new uniform period ``dt``."""
+        dt = check_positive(dt, "dt")
+        if abs(dt - self._dt) < 1e-12:
+            return self
+        old_t = self.time_s
+        n_new = int(np.floor(old_t[-1] / dt)) + 1
+        new_t = np.arange(n_new) * dt
+        new_speed = np.interp(new_t, old_t, self._speed)
+        return DriveCycle(self._name, new_speed, dt)
+
+    def scaled(self, factor: float) -> "DriveCycle":
+        """Return a copy with all speeds multiplied by ``factor`` (> 0)."""
+        factor = check_positive(factor, "factor")
+        return DriveCycle(f"{self._name}*{factor:g}", self._speed * factor, self._dt)

@@ -1,0 +1,332 @@
+"""Built-in reconstructions of the standard EPA drive cycles.
+
+The official per-second data files are not available offline, so each cycle
+is encoded as a deterministic segment program (see
+:mod:`repro.drivecycle.synth`) tuned so that duration, distance, maximum and
+mean speed, and the stop/go structure match the published statistics:
+
+=========  =========  ==========  ============  ============  ==========
+cycle      duration   distance    max speed     mean speed    character
+=========  =========  ==========  ============  ============  ==========
+US06          596 s    12.89 km   129.2 km/h     77.9 km/h    aggressive highway
+UDDS         1369 s    12.07 km    91.2 km/h     31.5 km/h    urban stop-and-go
+HWFET         765 s    16.45 km    96.4 km/h     77.7 km/h    steady highway
+NYCC          598 s     1.90 km    44.6 km/h     11.4 km/h    dense city crawl
+LA92         1435 s    15.80 km   108.1 km/h     39.6 km/h    modern mixed urban
+=========  =========  ==========  ============  ============  ==========
+
+These targets are checked by ``tests/drivecycle/test_library.py`` with a
++/-12% tolerance on duration, distance and mean speed (exact per-second shape
+is not reproducible and not needed; see DESIGN.md section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.drivecycle.cycle import DriveCycle
+from repro.drivecycle.synth import accel, cruise, decel, idle, synthesize
+
+#: Published reference statistics used by the tests:
+#: (duration_s, distance_km, max_speed_kmh, mean_speed_kmh)
+REFERENCE_STATS = {
+    "us06": (596.0, 12.89, 129.2, 77.9),
+    "udds": (1369.0, 12.07, 91.2, 31.5),
+    "hwfet": (765.0, 16.45, 96.4, 77.7),
+    "nycc": (598.0, 1.90, 44.6, 11.4),
+    "la92": (1435.0, 15.80, 108.1, 39.6),
+    # beyond the paper's set: the modern homologation cycles
+    "wltc3": (1800.0, 23.27, 131.3, 46.5),
+    "jc08": (1204.0, 8.17, 81.6, 24.4),
+    "artemis_urban": (993.0, 4.87, 57.3, 17.7),
+}
+
+
+def _us06() -> DriveCycle:
+    """Aggressive supplemental FTP cycle: hard launches and a 129 km/h burst."""
+    program = [
+        idle(6),
+        accel(95, 2.7),
+        cruise(30, ripple_kmh=8, ripple_period_s=18),
+        decel(45, 1.8),
+        cruise(14, ripple_kmh=4, ripple_period_s=10),
+        accel(105, 2.2),
+        cruise(45, ripple_kmh=6, ripple_period_s=25),
+        decel(0, 2.4),
+        idle(18),
+        accel(129.2, 2.0),
+        cruise(110, ripple_kmh=0),
+        decel(88, 1.2),
+        cruise(80, ripple_kmh=8, ripple_period_s=22),
+        accel(112, 1.8),
+        cruise(40, ripple_kmh=5, ripple_period_s=30),
+        decel(0, 2.2),
+        idle(24),
+        accel(72, 2.5),
+        cruise(45, ripple_kmh=10, ripple_period_s=20),
+        decel(0, 2.0),
+        idle(30),
+        accel(48, 2.0),
+        cruise(20, ripple_kmh=5, ripple_period_s=15),
+        decel(0, 1.8),
+        idle(16),
+    ]
+    return synthesize("US06", program)
+
+
+def _udds() -> DriveCycle:
+    """Urban dynamometer cycle: 1369 s of stop-and-go with one 91 km/h hill."""
+    program = [idle(20)]
+    # one fast arterial hill near the start (the famous UDDS "hill 2")
+    program += [
+        accel(91.2, 1.2),
+        cruise(80, ripple_kmh=0),
+        decel(0, 1.0),
+        idle(18),
+    ]
+    # repeating low-speed urban hills; (peak km/h, cruise s, idle s)
+    hills = [
+        (38, 35, 15),
+        (45, 45, 20),
+        (30, 25, 12),
+        (52, 55, 18),
+        (38, 30, 22),
+        (45, 40, 14),
+        (30, 20, 16),
+        (52, 60, 20),
+        (38, 35, 12),
+        (45, 50, 18),
+        (30, 25, 25),
+        (52, 45, 15),
+        (38, 30, 17),
+        (45, 35, 20),
+        (38, 30, 30),
+    ]
+    for peak, hold, wait in hills:
+        program += [
+            accel(peak, 0.9),
+            cruise(hold, ripple_kmh=5, ripple_period_s=25),
+            decel(0, 0.9),
+            idle(wait),
+        ]
+    return synthesize("UDDS", program)
+
+
+def _hwfet() -> DriveCycle:
+    """Highway fuel-economy cycle: one long moderate-speed cruise, no stops."""
+    program = [
+        idle(6),
+        accel(78, 1.1),
+        cruise(95, ripple_kmh=5, ripple_period_s=45),
+        accel(88, 0.5),
+        cruise(120, ripple_kmh=4, ripple_period_s=50),
+        decel(70, 0.5),
+        cruise(85, ripple_kmh=5, ripple_period_s=40),
+        accel(96.4, 0.7),
+        cruise(95, ripple_kmh=0),
+        decel(78, 0.4),
+        cruise(270, ripple_kmh=6, ripple_period_s=60),
+        decel(0, 1.2),
+        idle(5),
+    ]
+    return synthesize("HWFET", program)
+
+
+def _nycc() -> DriveCycle:
+    """New York City cycle: crawling traffic, frequent long stops."""
+    program = [idle(15)]
+    hops = [
+        (25, 12, 25, 3.0),
+        (18, 8, 28, 3.0),
+        (30, 15, 20, 3.0),
+        (44.6, 22, 26, 0.0),
+        (22, 10, 32, 3.0),
+        (28, 14, 24, 3.0),
+        (16, 6, 28, 3.0),
+        (35, 18, 22, 3.0),
+        (24, 10, 30, 3.0),
+        (30, 12, 24, 3.0),
+        (20, 8, 22, 3.0),
+    ]
+    for peak, hold, wait, ripple in hops:
+        program += [
+            accel(peak, 0.8),
+            cruise(hold, ripple_kmh=ripple, ripple_period_s=12),
+            decel(0, 1.0),
+            idle(wait),
+        ]
+    return synthesize("NYCC", program)
+
+
+def _la92() -> DriveCycle:
+    """LA92 "unified" cycle: faster, harder-accelerating urban driving."""
+    program = [idle(15)]
+    hills = [
+        (52, 40, 26, 5.0),
+        (66, 60, 30, 5.0),
+        (40, 30, 22, 5.0),
+        (108.1, 85, 32, 0.0),
+        (56, 45, 26, 5.0),
+        (78, 65, 34, 5.0),
+        (44, 32, 24, 5.0),
+        (85, 75, 30, 5.0),
+        (50, 36, 28, 5.0),
+        (62, 50, 32, 5.0),
+        (36, 24, 26, 5.0),
+        (74, 60, 30, 5.0),
+        (48, 32, 32, 5.0),
+    ]
+    for peak, hold, wait, ripple in hills:
+        program += [
+            accel(peak, 1.4),
+            cruise(hold, ripple_kmh=ripple, ripple_period_s=30),
+            decel(0, 1.2),
+            idle(wait),
+        ]
+    return synthesize("LA92", program)
+
+
+def _wltc3() -> DriveCycle:
+    """WLTC class 3: four phases from urban crawl to a 131 km/h motorway leg."""
+    program = [idle(12)]
+    # low phase: stop-and-go
+    for peak, hold, wait in [
+        (35, 30, 30),
+        (48, 40, 35),
+        (25, 18, 28),
+        (40, 30, 30),
+        (30, 22, 26),
+        (56.5, 45, 35),
+        (28, 20, 30),
+        (45, 35, 32),
+    ]:
+        program += [
+            accel(peak, 1.2),
+            cruise(hold, ripple_kmh=4, ripple_period_s=20),
+            decel(0, 1.1),
+            idle(wait),
+        ]
+    # medium phase
+    for peak, hold, wait in [(55, 45, 22), (65, 60, 24), (76.6, 75, 26)]:
+        program += [
+            accel(peak, 1.0),
+            cruise(hold, ripple_kmh=5, ripple_period_s=30),
+            decel(0, 1.0),
+            idle(wait),
+        ]
+    # high phase
+    program += [
+        accel(97.4, 0.9),
+        cruise(170, ripple_kmh=6, ripple_period_s=45),
+        decel(0, 0.9),
+        idle(14),
+    ]
+    # extra-high phase: the motorway leg
+    program += [
+        accel(131.3, 0.8),
+        cruise(150, ripple_kmh=0),
+        decel(90, 0.6),
+        cruise(90, ripple_kmh=5, ripple_period_s=40),
+        decel(0, 1.0),
+        idle(10),
+    ]
+    return synthesize("WLTC3", program)
+
+
+def _jc08() -> DriveCycle:
+    """JC08: the Japanese urban cycle - slow, gentle, long idles."""
+    program = [idle(22)]
+    hops = [
+        (30, 25, 28),
+        (40, 35, 32),
+        (24, 15, 26),
+        (52, 50, 34),
+        (34, 25, 30),
+        (81.6, 70, 36),
+        (45, 40, 30),
+        (60, 55, 34),
+        (28, 18, 28),
+        (50, 45, 34),
+        (22, 12, 26),
+        (38, 25, 30),
+    ]
+    for peak, hold, wait in hops:
+        ripple = 0.0 if peak > 80 else 3.0
+        program += [
+            accel(peak, 0.7),
+            cruise(hold, ripple_kmh=ripple, ripple_period_s=18),
+            decel(0, 0.8),
+            idle(wait),
+        ]
+    return synthesize("JC08", program)
+
+
+def _artemis_urban() -> DriveCycle:
+    """Artemis Urban: real-traffic European city driving, dense stops."""
+    program = [idle(14)]
+    hops = [
+        (28, 14, 24, 3.0),
+        (38, 20, 28, 4.0),
+        (22, 10, 22, 3.0),
+        (46, 28, 30, 4.0),
+        (32, 16, 26, 3.0),
+        (57.3, 35, 32, 0.0),
+        (26, 12, 24, 3.0),
+        (42, 24, 28, 4.0),
+        (30, 15, 26, 3.0),
+        (48, 28, 30, 4.0),
+        (24, 12, 24, 3.0),
+        (36, 18, 28, 4.0),
+        (20, 10, 22, 3.0),
+        (34, 16, 26, 3.0),
+        (44, 24, 28, 4.0),
+    ]
+    for peak, hold, wait, ripple in hops:
+        program += [
+            accel(peak, 1.1),
+            cruise(hold, ripple_kmh=ripple, ripple_period_s=14),
+            decel(0, 1.2),
+            idle(wait),
+        ]
+    return synthesize("ARTEMIS-URBAN", program)
+
+
+_BUILDERS: Dict[str, Callable[[], DriveCycle]] = {
+    "us06": _us06,
+    "udds": _udds,
+    "hwfet": _hwfet,
+    "nycc": _nycc,
+    "la92": _la92,
+    "wltc3": _wltc3,
+    "jc08": _jc08,
+    "artemis_urban": _artemis_urban,
+}
+
+_CACHE: Dict[str, DriveCycle] = {}
+
+
+def available_cycles():
+    """Names of all built-in drive cycles, sorted."""
+    return sorted(_BUILDERS)
+
+
+def get_cycle(name: str, repeat: int = 1) -> DriveCycle:
+    """Return a built-in drive cycle by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_cycles` (case-insensitive).
+    repeat:
+        Concatenate the cycle with itself this many times (the paper drives
+        US06 five times for the temperature analyses).
+    """
+    key = name.strip().lower()
+    if key not in _BUILDERS:
+        raise KeyError(
+            f"unknown drive cycle {name!r}; available: {', '.join(available_cycles())}"
+        )
+    if key not in _CACHE:
+        _CACHE[key] = _BUILDERS[key]()
+    cycle = _CACHE[key]
+    return cycle.repeat(repeat) if repeat > 1 else cycle

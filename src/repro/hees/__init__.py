@@ -1,0 +1,31 @@
+"""Hybrid Electrical Energy Storage architectures (paper Section II-C).
+
+Three architectures from the paper:
+
+* :class:`ParallelHEES` - battery and ultracapacitor hard-wired in parallel
+  (Eq. 10-13); no management possible, the circuit decides the split
+  (baseline [15]).
+* :class:`DualHEES` - switches select battery, ultracapacitor, or a
+  battery->ultracapacitor recharge path (baseline [16]).
+* :class:`HybridHEES` - each storage behind its own DC/DC converter on a
+  common DC bus; fully controllable split (the architecture OTEM drives).
+
+All architectures step with the same :class:`HEESStepResult` bookkeeping so
+metrics and benchmarks treat them uniformly.
+"""
+
+from repro.hees.converter import ConverterParams, DCDCConverter
+from repro.hees.state import HEESStepResult
+from repro.hees.parallel import ParallelHEES
+from repro.hees.dual import DualHEES, DualMode
+from repro.hees.hybrid import HybridHEES
+
+__all__ = [
+    "ConverterParams",
+    "DCDCConverter",
+    "HEESStepResult",
+    "ParallelHEES",
+    "DualHEES",
+    "DualMode",
+    "HybridHEES",
+]

@@ -1,0 +1,167 @@
+"""Parallel HEES architecture (paper Eq. 10-13, baseline [15]).
+
+Battery pack and ultracapacitor bank are hard-wired to the load bus; the
+circuit alone decides the split:
+
+    P_l = V_l I_l ,  I_l = I_b + I_c ,
+    V_l = V_b - R_b I_b = V_c - R_c I_c .
+
+Eliminating the currents gives a quadratic in the load voltage
+
+    G V_l^2 - S V_l + P_l = 0,   G = 1/R_b + 1/R_c,  S = V_b/R_b + V_c/R_c,
+
+whose larger root is the physical operating point (V_l -> weighted OCV as
+P_l -> 0).
+
+For a direct parallel connection the bank must live at pack voltage, so the
+module-rated bank is re-arranged ("re-strung") into an energy-equivalent
+high-voltage configuration: the rated voltage becomes the pack's full
+open-circuit voltage and capacitance scales by the inverse voltage-ratio
+squared (energy capacity is invariant).  The bank's SoE then tracks
+``(V_c / V_r_eff)^2`` and naturally rides the battery voltage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.battery.pack import BatteryPack
+from repro.hees.state import HEESStepResult
+from repro.ultracap.bank import UltracapBank
+from repro.utils.validation import check_positive
+
+
+def restrung_resistance_ohm(pack: BatteryPack, bank: UltracapBank) -> float:
+    """Series resistance of the bank re-strung to pack voltage [Ohm].
+
+    Re-arranging a module of capacitance C and resistance R to a voltage
+    ``k`` times higher (same cells, same energy) scales the resistance by
+    ``k^2``; at fixed module voltage, resistance scales inversely with
+    capacitance (fewer parallel strings).  This is what makes small banks
+    nearly useless as passive buffers (paper Table I, parallel column).
+    """
+    full_voc_cell = float(pack.electrical.open_circuit_voltage(100.0))
+    vr_eff = pack.config.series * full_voc_cell
+    k = vr_eff / bank.params.rated_voltage_v
+    return bank.params.internal_resistance_ohm * k * k
+
+
+class ParallelHEES:
+    """Passive parallel battery + ultracapacitor storage.
+
+    Parameters
+    ----------
+    pack:
+        Battery pack.
+    bank:
+        Ultracapacitor bank (module-rated; re-strung internally).
+    cap_resistance_ohm:
+        Series resistance of the re-strung high-voltage bank [Ohm]; by
+        default derived physically from the module rating via
+        :func:`restrung_resistance_ohm`.  It sets how aggressively the
+        capacitor takes load transients.
+    """
+
+    def __init__(
+        self,
+        pack: BatteryPack,
+        bank: UltracapBank,
+        cap_resistance_ohm: float | None = None,
+    ):
+        self._pack = pack
+        self._bank = bank
+        if cap_resistance_ohm is None:
+            cap_resistance_ohm = restrung_resistance_ohm(pack, bank)
+        self._rc = check_positive(cap_resistance_ohm, "cap_resistance_ohm")
+        # re-strung rating: full-pack open-circuit voltage
+        full_voc_cell = float(pack.electrical.open_circuit_voltage(100.0))
+        self._vr_eff = pack.config.series * full_voc_cell
+        self.sync_soe_to_battery()
+
+    @property
+    def pack(self) -> BatteryPack:
+        """The battery pack."""
+        return self._pack
+
+    @property
+    def bank(self) -> UltracapBank:
+        """The ultracapacitor bank."""
+        return self._bank
+
+    @property
+    def effective_rated_voltage_v(self) -> float:
+        """Re-strung bank rated voltage [V] (= full pack OCV)."""
+        return self._vr_eff
+
+    def cap_voltage(self) -> float:
+        """Bank voltage in the re-strung configuration [V]."""
+        return self._vr_eff * float(np.sqrt(max(self._bank.soe_percent, 0.0) / 100.0))
+
+    def sync_soe_to_battery(self):
+        """Pre-charge the bank to the battery's open-circuit voltage.
+
+        A parallel-connected capacitor settles at the battery OCV; start
+        every route from that equilibrium.
+        """
+        voc = self._pack.open_circuit_voltage()
+        soe = 100.0 * (voc / self._vr_eff) ** 2
+        self._bank.reset(min(100.0, soe))
+
+    def step(self, request_w: float, dt: float) -> HEESStepResult:
+        """Advance one step: split ``request_w`` per the circuit equations."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        pack, bank = self._pack, self._bank
+
+        v_b = pack.open_circuit_voltage()
+        r_b = pack.internal_resistance()
+        v_c = self.cap_voltage()
+        r_c = self._rc
+
+        g = 1.0 / r_b + 1.0 / r_c
+        s = v_b / r_b + v_c / r_c
+        disc = s * s - 4.0 * g * request_w
+        if disc < 0.0:
+            # demand beyond the combined maximum power point: operate there
+            v_l = s / (2.0 * g)
+        else:
+            v_l = (s + np.sqrt(disc)) / (2.0 * g)
+
+        i_b = (v_b - v_l) / r_b
+        i_c = (v_c - v_l) / r_c
+
+        # battery step at its realized terminal power (the pack re-derives
+        # the same current and enforces its own limits)
+        bat = pack.apply_power(i_b * v_l, dt)
+
+        # if the pack clipped, the capacitor covers the residual at the
+        # (approximate) same load voltage
+        if bat.clipped:
+            residual = request_w - bat.terminal_power_w
+            i_c = residual / v_l if v_l > 1e-6 else 0.0
+
+        # energy leaves the capacitor store at OCV x current (Eq. 9);
+        # the bank enforces C5/C7 and may clip, so re-derive the current
+        # actually flowing in the re-strung (high-voltage) configuration
+        cap = bank.apply_power(v_c * i_c, dt)
+        i_c_real = cap.power_w / v_c if v_c > 1e-6 else 0.0
+        realized_cap_bus = cap.power_w - (i_c_real**2) * r_c
+
+        delivered = bat.terminal_power_w + realized_cap_bus
+        unmet = max(0.0, request_w - delivered) if request_w > 0 else 0.0
+        circuit_loss = (i_c_real**2) * r_c * dt
+
+        return HEESStepResult(
+            requested_power_w=request_w,
+            delivered_power_w=delivered,
+            battery_power_w=bat.terminal_power_w,
+            ultracap_power_w=cap.power_w,
+            battery_cell_current_a=bat.cell_current_a,
+            battery_heat_w=bat.heat_w,
+            chem_energy_j=bat.chem_energy_j,
+            cap_energy_j=cap.energy_j,
+            converter_loss_j=circuit_loss,
+            loss_increment_percent=bat.loss_increment_percent,
+            unmet_power_w=unmet,
+            notes={"load_voltage_v": float(v_l)},
+        )

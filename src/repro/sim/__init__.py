@@ -1,0 +1,35 @@
+"""Discrete-time simulation of a managed HEES driving a route.
+
+:class:`Simulator` implements the outer loop of the paper's Algorithm 1:
+observe, let the controller decide, apply the decision to the HEES plant and
+the cooling loop, accumulate Q_loss and Energy, carry the states to the next
+step.
+
+Public API
+----------
+``Simulator`` / ``SimulationResult``
+    The engine and its output (trace + summary metrics).
+``Trace``
+    Per-step time series recorded during a run.
+``SummaryMetrics`` / ``compute_metrics``
+    The quantities the paper's evaluation reports.
+``Scenario`` / ``run_scenario``
+    One-call convenience wrapper (controller + cycle + sizing -> result).
+"""
+
+from repro.sim.trace import Trace, TraceRecorder
+from repro.sim.metrics import SummaryMetrics, compute_metrics
+from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.scenario import Scenario, build_controller, run_scenario
+
+__all__ = [
+    "Trace",
+    "TraceRecorder",
+    "SummaryMetrics",
+    "compute_metrics",
+    "SimulationResult",
+    "Simulator",
+    "Scenario",
+    "build_controller",
+    "run_scenario",
+]

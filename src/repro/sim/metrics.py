@@ -1,0 +1,98 @@
+"""Summary metrics: the quantities the paper's evaluation reports.
+
+* ``Q_loss`` - accumulated battery capacity loss [%] (Algorithm 1 output,
+  drives Fig. 8 and Table I).
+* ``Energy`` - energy consumed in the HEES, sum of dE_bat + dE_cap
+  (Algorithm 1 output).
+* average power - EV plus active cooling (Fig. 9 and Table I).  Because the
+  cooling loop draws from the HEES bus in this model, the HEES energy
+  already contains the cooling energy; the average is HEES energy over
+  route duration.
+* thermal safety - peak temperature and time above the C1 limit (Fig. 1).
+* BLT - routes-to-end-of-life from the per-route loss (paper Section I:
+  20% loss = end of life).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.battery.aging import blt_equivalent_routes
+from repro.sim.trace import Trace
+
+#: Constraint C1 upper limit used for safety accounting [K] (40 C).
+SAFE_TEMP_MAX_K = 313.15
+
+
+@dataclass(frozen=True)
+class SummaryMetrics:
+    """Aggregates of one simulation run.
+
+    Attributes
+    ----------
+    duration_s:
+        Route duration [s].
+    qloss_percent:
+        Accumulated capacity loss [%].
+    hees_energy_j:
+        Sum of dE_bat + dE_cap over the route [J].
+    cooling_energy_j:
+        Cooler + pump electrical energy [J] (subset of hees_energy_j, since
+        the loop draws from the bus).
+    converter_loss_j:
+        Energy dissipated in converters / switching paths [J].
+    average_power_w:
+        hees_energy_j / duration_s [W] - the paper's "Average Power".
+    peak_temp_k:
+        Maximum battery temperature [K].
+    time_above_safe_s:
+        Seconds with T_b above the C1 limit.
+    min_soc_percent / min_soe_percent:
+        Depletion extremes over the route.
+    unmet_energy_j:
+        Requested-but-undelivered energy [J] (should be ~0 for a healthy
+        configuration).
+    blt_routes:
+        Routes-to-end-of-life implied by qloss_percent.
+    """
+
+    duration_s: float
+    qloss_percent: float
+    hees_energy_j: float
+    cooling_energy_j: float
+    converter_loss_j: float
+    average_power_w: float
+    peak_temp_k: float
+    time_above_safe_s: float
+    min_soc_percent: float
+    min_soe_percent: float
+    unmet_energy_j: float
+    blt_routes: float
+
+
+def compute_metrics(trace: Trace, safe_temp_k: float = SAFE_TEMP_MAX_K) -> SummaryMetrics:
+    """Reduce a :class:`Trace` to :class:`SummaryMetrics`."""
+    dt = trace.dt
+    duration = float(trace.time_s[-1] + dt) if len(trace) else 0.0
+    qloss = float(np.sum(trace.loss_increment_percent))
+    hees_energy = float(np.sum(trace.chem_energy_j) + np.sum(trace.cap_energy_j))
+    cooling_energy = float(np.sum(trace.cooling_power_w) * dt)
+    conv_loss = float(np.sum(trace.converter_loss_j))
+    avg_power = hees_energy / duration if duration > 0 else 0.0
+    above = trace.battery_temp_k > safe_temp_k
+    return SummaryMetrics(
+        duration_s=duration,
+        qloss_percent=qloss,
+        hees_energy_j=hees_energy,
+        cooling_energy_j=cooling_energy,
+        converter_loss_j=conv_loss,
+        average_power_w=avg_power,
+        peak_temp_k=float(np.max(trace.battery_temp_k)),
+        time_above_safe_s=float(np.sum(above) * dt),
+        min_soc_percent=float(np.min(trace.battery_soc_percent)),
+        min_soe_percent=float(np.min(trace.cap_soe_percent)),
+        unmet_energy_j=float(np.sum(np.clip(trace.unmet_w, 0.0, None)) * dt),
+        blt_routes=blt_equivalent_routes(qloss),
+    )

@@ -1,0 +1,138 @@
+"""One-call experiment scenarios.
+
+Everything the paper's evaluation varies - methodology, drive cycle, number
+of repetitions, ultracapacitor size, ambient/initial temperature - is a
+:class:`Scenario` field; :func:`run_scenario` builds the whole stack
+(cycle -> powertrain -> controller -> simulator) and returns the
+:class:`repro.sim.engine.SimulationResult`.  The benchmark harness and the
+examples are thin layers over this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.battery.pack import DEFAULT_PACK, PackConfig
+from repro.controllers.base import Controller
+from repro.controllers.cooling_only import CoolingOnlyController
+from repro.controllers.dual_threshold import DualThresholdController
+from repro.controllers.parallel_passive import ParallelPassiveController
+from repro.cooling.coolant import DEFAULT_COOLANT, CoolantParams
+from repro.core.cost import CostWeights
+from repro.core.otem import OTEMController
+from repro.drivecycle.library import get_cycle
+from repro.sim.engine import SimulationResult, Simulator
+from repro.ultracap.params import UltracapParams, bank_of_farads
+from repro.vehicle.params import MODEL_S_LIKE, VehicleParams
+from repro.vehicle.powertrain import Powertrain
+
+#: Methodology identifiers accepted by :func:`build_controller`.  The first
+#: four are the paper's evaluation set (Section IV-B); "heuristic" is the
+#: beyond-paper peak-shaving manager used by the MPC-value ablation.
+METHODOLOGIES = ("parallel", "cooling", "dual", "otem", "heuristic")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully specified experiment.
+
+    Attributes
+    ----------
+    methodology:
+        One of :data:`METHODOLOGIES`.
+    cycle:
+        Drive-cycle name (see :func:`repro.drivecycle.available_cycles`).
+    repeat:
+        Number of back-to-back cycle repetitions.
+    ucap_farads:
+        Ultracapacitor bank size [F] (the paper sweeps 5,000-25,000).
+    initial_temp_k:
+        Initial battery/coolant temperature [K] (Algorithm 1 uses 298).
+    pack:
+        Battery pack layout.
+    vehicle:
+        Vehicle parameters for the powertrain.
+    coolant:
+        Cooling-loop parameters.
+    weights:
+        OTEM objective weights (ignored by baselines).
+    mpc_horizon / mpc_step_s / mpc_max_evals:
+        OTEM planner knobs (ignored by baselines).
+    """
+
+    methodology: str = "otem"
+    cycle: str = "us06"
+    repeat: int = 1
+    ucap_farads: float = 25_000.0
+    initial_temp_k: float = 298.0
+    pack: PackConfig = DEFAULT_PACK
+    vehicle: VehicleParams = MODEL_S_LIKE
+    coolant: CoolantParams = DEFAULT_COOLANT
+    weights: CostWeights = field(default_factory=CostWeights)
+    mpc_horizon: int = 12
+    mpc_step_s: float = 5.0
+    mpc_max_evals: int = 150
+
+    def __post_init__(self):
+        if self.methodology not in METHODOLOGIES:
+            raise ValueError(
+                f"unknown methodology {self.methodology!r}; "
+                f"choose from {METHODOLOGIES}"
+            )
+        if self.repeat < 1:
+            raise ValueError("repeat must be >= 1")
+
+    def with_methodology(self, methodology: str) -> "Scenario":
+        """Copy with a different methodology (comparison sweeps)."""
+        return replace(self, methodology=methodology)
+
+    def with_ucap(self, farads: float) -> "Scenario":
+        """Copy with a different bank size (Table I sweep)."""
+        return replace(self, ucap_farads=farads)
+
+    def cap_params(self) -> UltracapParams:
+        """The bank parameter set this scenario implies."""
+        return bank_of_farads(self.ucap_farads)
+
+
+def build_controller(scenario: Scenario) -> Controller:
+    """Instantiate the methodology named by the scenario."""
+    if scenario.methodology == "parallel":
+        return ParallelPassiveController()
+    if scenario.methodology == "cooling":
+        return CoolingOnlyController(coolant=scenario.coolant)
+    if scenario.methodology == "dual":
+        return DualThresholdController()
+    if scenario.methodology == "heuristic":
+        from repro.controllers.heuristic import HybridHeuristicController
+
+        return HybridHeuristicController(coolant=scenario.coolant)
+    return OTEMController(
+        pack_config=scenario.pack,
+        cap_params=scenario.cap_params(),
+        coolant=scenario.coolant,
+        weights=scenario.weights,
+        horizon=scenario.mpc_horizon,
+        mpc_step_s=scenario.mpc_step_s,
+        max_function_evals=scenario.mpc_max_evals,
+    )
+
+
+def run_scenario(scenario: Scenario) -> SimulationResult:
+    """Build the stack for ``scenario``, run it, and return the result."""
+    cycle = get_cycle(scenario.cycle, repeat=scenario.repeat)
+    request = Powertrain(scenario.vehicle).power_request(cycle)
+    controller = build_controller(scenario)
+    if isinstance(controller, OTEMController):
+        preview = controller.required_preview_steps(request.dt)
+    else:
+        preview = 10
+    simulator = Simulator(
+        controller,
+        pack_config=scenario.pack,
+        cap_params=scenario.cap_params(),
+        coolant=scenario.coolant,
+        initial_temp_k=scenario.initial_temp_k,
+        preview_steps=preview,
+    )
+    return simulator.run(request)

@@ -1,0 +1,110 @@
+"""Per-step time-series recording.
+
+The recorder accumulates python floats during the run (cheap appends) and
+freezes into a :class:`Trace` of read-only numpy arrays afterwards, which is
+what the figure generators and tests consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+#: Names of the recorded channels, in recording order.
+CHANNELS = (
+    "time_s",
+    "request_w",
+    "delivered_w",
+    "battery_power_w",
+    "cap_power_w",
+    "cooling_power_w",
+    "battery_soc_percent",
+    "cap_soe_percent",
+    "battery_temp_k",
+    "coolant_temp_k",
+    "inlet_temp_k",
+    "heat_w",
+    "cell_current_a",
+    "chem_energy_j",
+    "cap_energy_j",
+    "converter_loss_j",
+    "loss_increment_percent",
+    "unmet_w",
+)
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Frozen per-step time series of one simulation run.
+
+    Every attribute is a read-only 1-D numpy array of equal length; energies
+    and loss increments are per-step amounts, powers are step averages, and
+    states are the values at the *end* of the step.
+    """
+
+    time_s: np.ndarray
+    request_w: np.ndarray
+    delivered_w: np.ndarray
+    battery_power_w: np.ndarray
+    cap_power_w: np.ndarray
+    cooling_power_w: np.ndarray
+    battery_soc_percent: np.ndarray
+    cap_soe_percent: np.ndarray
+    battery_temp_k: np.ndarray
+    coolant_temp_k: np.ndarray
+    inlet_temp_k: np.ndarray
+    heat_w: np.ndarray
+    cell_current_a: np.ndarray
+    chem_energy_j: np.ndarray
+    cap_energy_j: np.ndarray
+    converter_loss_j: np.ndarray
+    loss_increment_percent: np.ndarray
+    unmet_w: np.ndarray
+
+    def __post_init__(self):
+        n = self.time_s.size
+        for f in fields(self):
+            arr = getattr(self, f.name)
+            if arr.size != n:
+                raise ValueError(f"channel {f.name} has {arr.size} samples, expected {n}")
+            arr.setflags(write=False)
+
+    def __len__(self) -> int:
+        return self.time_s.size
+
+    @property
+    def dt(self) -> float:
+        """Sample period [s] (uniform)."""
+        if len(self) < 2:
+            return 1.0
+        return float(self.time_s[1] - self.time_s[0])
+
+    def channel(self, name: str) -> np.ndarray:
+        """Look a channel up by name."""
+        if name not in CHANNELS:
+            raise KeyError(f"unknown channel {name!r}; available: {', '.join(CHANNELS)}")
+        return getattr(self, name)
+
+
+class TraceRecorder:
+    """Append-per-step accumulator that freezes into a :class:`Trace`."""
+
+    def __init__(self):
+        self._data = {name: [] for name in CHANNELS}
+
+    def record(self, **values: float):
+        """Append one step; every channel must be present exactly once."""
+        if set(values) != set(CHANNELS):
+            missing = set(CHANNELS) - set(values)
+            extra = set(values) - set(CHANNELS)
+            raise ValueError(f"bad record: missing={sorted(missing)} extra={sorted(extra)}")
+        for name, value in values.items():
+            self._data[name].append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._data["time_s"])
+
+    def freeze(self) -> Trace:
+        """Convert the accumulated lists into a frozen :class:`Trace`."""
+        return Trace(**{name: np.asarray(vals, dtype=float) for name, vals in self._data.items()})

@@ -1,0 +1,22 @@
+"""Ultracapacitor models (paper Section II-B, Eq. 6-9).
+
+Public API
+----------
+``UltracapParams`` / ``bank_of_farads``
+    Bank parameters; the paper sweeps total capacitance in
+    {5,000; 10,000; 20,000; 25,000} F at a 16.2 V module rating (Maxwell
+    BC-series economics, see DESIGN.md).
+``UltracapBank``
+    SoE state, voltage law Vcap = Vr sqrt(SoE/100), power transfer with
+    current/power limits.
+"""
+
+from repro.ultracap.params import UltracapParams, bank_of_farads
+from repro.ultracap.bank import UltracapBank, UltracapStepResult
+
+__all__ = [
+    "UltracapParams",
+    "bank_of_farads",
+    "UltracapBank",
+    "UltracapStepResult",
+]

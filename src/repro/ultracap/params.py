@@ -1,0 +1,95 @@
+"""Ultracapacitor bank parameters.
+
+The paper quotes bank sizes as total farads (5,000-25,000 F) with a price
+point matching Maxwell BC-series cells grouped into ~16 V modules
+(6 x 2.7 V in series); at that rating a 25,000 F bank stores
+1/2 * 25,000 * 16.2^2 = 3.3 MJ ~= 0.91 kWh, a realistic EV pulse buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class UltracapParams:
+    """Parameters of an ultracapacitor bank (Eq. 6-9).
+
+    Attributes
+    ----------
+    capacitance_f:
+        Rated total capacitance C_cap [F] at the module voltage.
+    rated_voltage_v:
+        Rated (full) voltage V_r [V]; Vcap = V_r at SoE = 100%.
+    internal_resistance_ohm:
+        Series resistance [Ohm]; the paper notes it is negligible
+        (~2.2 mOhm) and omits it from Eq. 6-9, but the parallel
+        architecture's circuit split (Eq. 10-13) needs a finite value.
+    max_power_w:
+        Power ceiling of the bank / its converter port (constraint C7) [W].
+    soe_min_percent / soe_max_percent:
+        Constraint C5 bounds on the state of energy [%].  C5 is a
+        *management* constraint; physically the bank works below it.
+    soe_hard_min_percent:
+        Physical floor [%] below which the converter cuts off (voltage too
+        low); the band between hard floor and C5 floor is an emergency
+        reserve the hybrid plant may tap to avoid starving the load.
+    """
+
+    capacitance_f: float = 25_000.0
+    rated_voltage_v: float = 16.2
+    internal_resistance_ohm: float = 2.2e-3
+    max_power_w: float = 60_000.0
+    soe_min_percent: float = 20.0
+    soe_max_percent: float = 100.0
+    soe_hard_min_percent: float = 5.0
+
+    def __post_init__(self):
+        check_positive(self.capacitance_f, "capacitance_f")
+        check_positive(self.rated_voltage_v, "rated_voltage_v")
+        check_positive(self.internal_resistance_ohm, "internal_resistance_ohm")
+        check_positive(self.max_power_w, "max_power_w")
+        check_in_range(self.soe_min_percent, 0.0, 100.0, "soe_min_percent")
+        check_in_range(
+            self.soe_max_percent, self.soe_min_percent, 100.0, "soe_max_percent"
+        )
+        check_in_range(
+            self.soe_hard_min_percent, 0.0, self.soe_min_percent, "soe_hard_min_percent"
+        )
+
+    @property
+    def energy_capacity_j(self) -> float:
+        """E_cap = 1/2 C V_r^2 [J] (Eq. 6)."""
+        return 0.5 * self.capacitance_f * self.rated_voltage_v**2
+
+    @property
+    def usable_energy_j(self) -> float:
+        """Energy between the C5 bounds [J]."""
+        span = (self.soe_max_percent - self.soe_min_percent) / 100.0
+        return span * self.energy_capacity_j
+
+
+#: Capacitance at which the default module resistance (2.2 mOhm) is quoted.
+REFERENCE_CAPACITANCE_F = 25_000.0
+
+
+def bank_of_farads(capacitance_f: float, **overrides) -> UltracapParams:
+    """Build a bank parameter set for the paper's capacitance sweep.
+
+    Resistance scales inversely with capacitance (a smaller bank has fewer
+    parallel strings), unless overridden explicitly.
+
+    Parameters
+    ----------
+    capacitance_f:
+        Total capacitance [F] (the paper uses 5,000-25,000 F).
+    overrides:
+        Any other :class:`UltracapParams` field.
+    """
+    if "internal_resistance_ohm" not in overrides:
+        overrides["internal_resistance_ohm"] = (
+            2.2e-3 * REFERENCE_CAPACITANCE_F / capacitance_f
+        )
+    return UltracapParams(capacitance_f=capacitance_f, **overrides)

@@ -1,0 +1,89 @@
+"""Small fixed-step integration helpers.
+
+The simulation engine advances lumped thermal/electrical states with explicit
+fixed-step integrators; drive-cycle and metric computations use trapezoidal
+quadrature.  All helpers accept plain floats or numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def euler_step(f: Callable, y, t: float, dt: float):
+    """Advance ``dy/dt = f(t, y)`` one explicit-Euler step of size ``dt``.
+
+    Parameters
+    ----------
+    f:
+        Right-hand side, called as ``f(t, y)``.
+    y:
+        Current state (float or ndarray).
+    t:
+        Current time [s].
+    dt:
+        Step size [s], must be positive.
+
+    Returns
+    -------
+    The state at ``t + dt``.
+    """
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    return y + dt * f(t, y)
+
+
+def rk4_step(f: Callable, y, t: float, dt: float):
+    """Advance ``dy/dt = f(t, y)`` one classical Runge-Kutta-4 step."""
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    k1 = f(t, y)
+    k2 = f(t + dt / 2.0, y + dt / 2.0 * k1)
+    k3 = f(t + dt / 2.0, y + dt / 2.0 * k2)
+    k4 = f(t + dt, y + dt * k3)
+    return y + dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+def trapezoid(values, dt: float | None = None, times=None) -> float:
+    """Trapezoidal integral of sampled ``values``.
+
+    Either a uniform sample period ``dt`` or an explicit ``times`` vector must
+    be given (not both).
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("trapezoid expects a 1-D sample vector")
+    if (dt is None) == (times is None):
+        raise ValueError("exactly one of dt / times must be provided")
+    if values.size < 2:
+        return 0.0
+    if dt is not None:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        return float(np.trapezoid(values, dx=dt))
+    times = np.asarray(times, dtype=float)
+    if times.shape != values.shape:
+        raise ValueError("times and values must have the same shape")
+    return float(np.trapezoid(values, x=times))
+
+
+def cumulative_trapezoid(values, dt: float) -> np.ndarray:
+    """Cumulative trapezoidal integral with a leading zero sample.
+
+    Returns an array of the same length as ``values`` whose ``i``-th entry is
+    the integral of ``values[:i+1]`` on a uniform grid of period ``dt``.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("cumulative_trapezoid expects a 1-D sample vector")
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    if values.size == 0:
+        return np.zeros(0)
+    increments = 0.5 * (values[1:] + values[:-1]) * dt
+    out = np.empty_like(values)
+    out[0] = 0.0
+    np.cumsum(increments, out=out[1:])
+    return out

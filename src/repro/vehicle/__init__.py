@@ -1,0 +1,38 @@
+"""EV powertrain modelling (ADVISOR substitute).
+
+The paper estimates the EV electrical power request with ADVISOR; here a
+backward-facing longitudinal-dynamics model plays that role (see DESIGN.md,
+substitution table).  Given a drive cycle, :class:`Powertrain` produces the
+battery-bus electrical power request trace ``P_e(t)`` that the thermal/energy
+managers consume.
+
+Public API
+----------
+``VehicleParams`` / ``MODEL_S_LIKE``
+    Vehicle physical parameters and the default Tesla-Model-S-class preset.
+``Glider``
+    Road-load forces (rolling, aerodynamic, grade, inertia).
+``MotorDrive``
+    Motor + inverter efficiency map and regenerative-braking limits.
+``Powertrain``
+    End-to-end cycle -> electrical power request.
+``CabinParams`` / ``hvac_load_profile``
+    Climate-control load model (companion work, paper reference [2]).
+"""
+
+from repro.vehicle.params import MODEL_S_LIKE, VehicleParams
+from repro.vehicle.glider import Glider
+from repro.vehicle.motor import MotorDrive
+from repro.vehicle.powertrain import Powertrain, PowerRequest
+from repro.vehicle.hvac import CabinParams, hvac_load_profile
+
+__all__ = [
+    "MODEL_S_LIKE",
+    "VehicleParams",
+    "Glider",
+    "MotorDrive",
+    "Powertrain",
+    "PowerRequest",
+    "CabinParams",
+    "hvac_load_profile",
+]

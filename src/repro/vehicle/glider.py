@@ -1,0 +1,79 @@
+"""Road-load ("glider") force model.
+
+Implements the standard longitudinal force balance used by backward-facing
+vehicle simulators such as ADVISOR:
+
+    F_tract = F_roll + F_aero + F_grade + F_inertia
+
+with
+
+    F_roll    = Crr * m * g * cos(theta)      (zero when stopped)
+    F_aero    = 1/2 * rho * Cd * A * v^2
+    F_grade   = m * g * sin(theta)
+    F_inertia = k_i * m * a
+
+Tractive power at the wheels is ``F_tract * v``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vehicle.params import VehicleParams
+
+#: Standard gravity [m/s^2].
+GRAVITY = 9.80665
+
+
+class Glider:
+    """Road-load force and wheel-power calculator.
+
+    Parameters
+    ----------
+    params:
+        Vehicle physical parameters.
+    """
+
+    def __init__(self, params: VehicleParams):
+        self._p = params
+
+    @property
+    def params(self) -> VehicleParams:
+        """The vehicle parameters in use."""
+        return self._p
+
+    def rolling_force(self, speed_mps, grade_rad=0.0) -> np.ndarray:
+        """Rolling-resistance force [N]; zero for samples at standstill."""
+        speed = np.asarray(speed_mps, dtype=float)
+        p = self._p
+        force = p.rolling_coefficient * p.mass_kg * GRAVITY * np.cos(grade_rad)
+        return np.where(speed > 1e-3, force, 0.0)
+
+    def aero_force(self, speed_mps) -> np.ndarray:
+        """Aerodynamic drag force [N]."""
+        speed = np.asarray(speed_mps, dtype=float)
+        p = self._p
+        return 0.5 * p.air_density_kgm3 * p.drag_coefficient * p.frontal_area_m2 * speed**2
+
+    def grade_force(self, grade_rad=0.0) -> float:
+        """Gravitational force along the road [N] for grade angle ``grade_rad``."""
+        return self._p.mass_kg * GRAVITY * np.sin(grade_rad)
+
+    def inertia_force(self, accel_ms2) -> np.ndarray:
+        """Inertial force including rotating masses [N]."""
+        accel = np.asarray(accel_ms2, dtype=float)
+        return self._p.wheel_inertia_factor * self._p.mass_kg * accel
+
+    def tractive_force(self, speed_mps, accel_ms2, grade_rad=0.0) -> np.ndarray:
+        """Total tractive force at the wheels [N] (negative while braking)."""
+        return (
+            self.rolling_force(speed_mps, grade_rad)
+            + self.aero_force(speed_mps)
+            + self.grade_force(grade_rad)
+            + self.inertia_force(accel_ms2)
+        )
+
+    def wheel_power(self, speed_mps, accel_ms2, grade_rad=0.0) -> np.ndarray:
+        """Tractive power at the wheels [W] (negative while braking)."""
+        speed = np.asarray(speed_mps, dtype=float)
+        return self.tractive_force(speed, accel_ms2, grade_rad) * speed

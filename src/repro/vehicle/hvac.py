@@ -1,0 +1,132 @@
+"""Cabin HVAC load model (the paper's companion work, reference [2]).
+
+The paper's introduction cites the authors' HVAC study ("HVAC System and
+Automotive Climate Control Influence on Electric Vehicle and Battery",
+ASP-DAC 2016): climate control is the largest auxiliary load and shapes
+the bus power the storage managers see.  This module adds that load:
+
+* a first-order cabin thermal model - solar/ambient heat ingress against
+  the HVAC's heat pumping,
+* a thermostatic HVAC controller with a pull-down phase (full power until
+  the cabin reaches the setpoint) and a steady phase (holding it),
+* COP-based electrical power, for both cooling (hot day) and heating
+  (cold day, where a resistive PTC heater has COP ~1).
+
+``Powertrain.power_request(..., hvac=...)`` adds the profile to the bus
+trace, replacing the constant ``auxiliary_power_w`` placeholder for
+climate-heavy studies (see examples/hot_day.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class CabinParams:
+    """Cabin thermal and HVAC parameters.
+
+    Attributes
+    ----------
+    heat_capacity_j_per_k:
+        Lumped cabin air + interior mass [J/K].
+    shell_conductance_w_per_k:
+        Cabin-to-ambient conductance (glass, body) [W/K].
+    solar_gain_w:
+        Solar irradiation absorbed by the cabin [W] (0 at night).
+    max_thermal_power_w:
+        HVAC heat-moving capacity [W] (thermal, not electrical).
+    cooling_cop:
+        Coefficient of performance when cooling [-].
+    heating_cop:
+        COP when heating [-] (1.0 = resistive PTC heater).
+    setpoint_k:
+        Cabin target temperature [K].
+    deadband_k:
+        Thermostat half-width around the setpoint [K].
+    """
+
+    heat_capacity_j_per_k: float = 80_000.0
+    shell_conductance_w_per_k: float = 120.0
+    solar_gain_w: float = 600.0
+    max_thermal_power_w: float = 5_000.0
+    cooling_cop: float = 2.2
+    heating_cop: float = 1.0
+    setpoint_k: float = 295.15
+    deadband_k: float = 1.0
+
+    def __post_init__(self):
+        check_positive(self.heat_capacity_j_per_k, "heat_capacity_j_per_k")
+        check_positive(self.shell_conductance_w_per_k, "shell_conductance_w_per_k")
+        check_in_range(self.solar_gain_w, 0.0, 5_000.0, "solar_gain_w")
+        check_positive(self.max_thermal_power_w, "max_thermal_power_w")
+        check_positive(self.cooling_cop, "cooling_cop")
+        check_positive(self.heating_cop, "heating_cop")
+        check_positive(self.setpoint_k, "setpoint_k")
+        check_in_range(self.deadband_k, 0.1, 10.0, "deadband_k")
+
+
+def hvac_load_profile(
+    duration_s: float,
+    ambient_temp_k: float,
+    initial_cabin_temp_k: float | None = None,
+    params: CabinParams = CabinParams(),
+    dt: float = 1.0,
+) -> np.ndarray:
+    """Electrical HVAC load trace [W] for a trip.
+
+    Parameters
+    ----------
+    duration_s:
+        Trip duration [s].
+    ambient_temp_k:
+        Outside temperature [K]; above the setpoint the HVAC cools, below
+        it heats.
+    initial_cabin_temp_k:
+        Cabin temperature at departure [K]; defaults to ambient (the car
+        soaked outside).
+    params:
+        Cabin/HVAC parameters.
+    dt:
+        Sample period [s].
+
+    Returns
+    -------
+    One electrical-power sample per ``dt``, length ``floor(duration/dt)+1``.
+    """
+    check_positive(duration_s, "duration_s")
+    check_positive(dt, "dt")
+    p = params
+    n = int(np.floor(duration_s / dt)) + 1
+    cabin = float(
+        ambient_temp_k if initial_cabin_temp_k is None else initial_cabin_temp_k
+    )
+    load = np.zeros(n)
+    # solar gain only matters on the hot side; a cold night has none
+    solar = p.solar_gain_w if ambient_temp_k >= p.setpoint_k else 0.0
+    hvac_on = True
+    for k in range(n):
+        error = cabin - p.setpoint_k
+        # thermostat with deadband: off inside, on outside
+        if hvac_on and abs(error) < 0.2 * p.deadband_k:
+            hvac_on = False
+        elif not hvac_on and abs(error) > p.deadband_k:
+            hvac_on = True
+
+        thermal = 0.0
+        if hvac_on:
+            # move heat toward the setpoint, up to capacity, proportional
+            # near the target so the steady phase doesn't chatter
+            thermal = -np.sign(error) * min(
+                p.max_thermal_power_w, abs(error) * p.max_thermal_power_w / 3.0
+            )
+        cop = p.cooling_cop if thermal < 0 else p.heating_cop
+        load[k] = abs(thermal) / cop
+
+        ingress = p.shell_conductance_w_per_k * (ambient_temp_k - cabin) + solar
+        cabin += dt * (ingress + thermal) / p.heat_capacity_j_per_k
+    return load

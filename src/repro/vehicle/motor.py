@@ -1,0 +1,85 @@
+"""Motor + inverter efficiency model.
+
+ADVISOR uses a 2-D torque/speed efficiency map; for the power-request
+estimate the controllers need, a load-dependent scalar efficiency captures
+the same first-order behaviour: efficiency is poor at very light load, peaks
+in the mid-load range, and rolls off slightly near peak power.
+
+The map is
+
+    eta(load) = eta_peak - a*(load - load_peak)^2 - b / (load + c)
+
+clipped to [eta_min, eta_peak], with ``load`` = |P_mech| / P_max in [0, 1].
+The default constants give ~0.78 at 2% load, ~0.93 peak around 35% load and
+~0.90 at full load, typical of automotive PMSM drive systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive
+from repro.vehicle.params import VehicleParams
+
+
+class MotorDrive:
+    """Motor + inverter electrical/mechanical power conversion.
+
+    Parameters
+    ----------
+    params:
+        Vehicle parameters (supplies the power ceilings and regen fraction).
+    eta_peak:
+        Peak drive-system efficiency [-].
+    eta_min:
+        Efficiency floor at extremely light load [-].
+    load_peak:
+        Normalized load at which efficiency peaks [-].
+    """
+
+    def __init__(
+        self,
+        params: VehicleParams,
+        eta_peak: float = 0.93,
+        eta_min: float = 0.70,
+        load_peak: float = 0.35,
+    ):
+        self._p = params
+        self._eta_peak = check_in_range(eta_peak, 0.5, 1.0, "eta_peak")
+        self._eta_min = check_in_range(eta_min, 0.3, eta_peak, "eta_min")
+        self._load_peak = check_in_range(load_peak, 0.05, 0.9, "load_peak")
+        # curvature chosen so eta(1.0) ~= eta_peak - 0.03
+        self._curvature = 0.03 / max((1.0 - self._load_peak) ** 2, 1e-6)
+        self._light_load_drop = 0.004
+
+    @property
+    def max_power_w(self) -> float:
+        """Motor electrical power ceiling [W]."""
+        return self._p.max_motor_power_w
+
+    def efficiency(self, mech_power_w) -> np.ndarray:
+        """Drive-system efficiency [-] at mechanical power ``mech_power_w``."""
+        load = np.abs(np.asarray(mech_power_w, dtype=float)) / self._p.max_motor_power_w
+        load = np.clip(load, 0.0, 1.0)
+        eta = (
+            self._eta_peak
+            - self._curvature * (load - self._load_peak) ** 2
+            - self._light_load_drop / (load + 0.02)
+        )
+        return np.clip(eta, self._eta_min, self._eta_peak)
+
+    def electrical_power(self, mech_power_w) -> np.ndarray:
+        """Electrical power at the DC bus [W] for mechanical power at the wheels.
+
+        Positive mechanical power (propulsion) divides by efficiency;
+        negative (braking) multiplies by efficiency and by the recoverable
+        fraction, then is clipped at the regen ceiling.  Friction brakes
+        absorb whatever regen cannot.
+        """
+        mech = np.asarray(mech_power_w, dtype=float)
+        eta = self.efficiency(mech)
+        drive = np.clip(mech / eta, None, self._p.max_motor_power_w)
+        regen = np.clip(
+            mech * eta * self._p.regen_fraction, -self._p.max_regen_power_w, 0.0
+        )
+        return np.where(mech >= 0.0, drive, regen)

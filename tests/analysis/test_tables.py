@@ -1,0 +1,63 @@
+"""Table I generator tests (small sweep; full sweep lives in benchmarks/)."""
+
+import pytest
+
+from repro.analysis.tables import (
+    PAPER_AVG_POWER_W,
+    PAPER_CAPACITY_LOSS_PCT,
+    TABLE1_METHODS,
+    TABLE1_SIZES_F,
+    table1_data,
+)
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    return table1_data(
+        sizes_f=(5_000.0, 25_000.0), methods=("parallel", "dual"), repeat=1
+    )
+
+
+class TestStructure:
+    def test_rows_match_sizes(self, small_table):
+        assert [r.size_f for r in small_table.rows] == [5_000.0, 25_000.0]
+
+    def test_row_lookup(self, small_table):
+        assert small_table.row(5_000.0).size_f == 5_000.0
+
+    def test_row_lookup_missing(self, small_table):
+        with pytest.raises(KeyError):
+            small_table.row(12_345.0)
+
+    def test_methods_present(self, small_table):
+        row = small_table.row(25_000.0)
+        assert set(row.avg_power_w) == {"parallel", "dual"}
+
+
+class TestNormalization:
+    def test_reference_cell_is_100(self, small_table):
+        # parallel at the largest size defines 100%
+        assert small_table.row(25_000.0).capacity_loss_pct["parallel"] == pytest.approx(
+            100.0
+        )
+
+    def test_small_bank_parallel_worse(self, small_table):
+        assert (
+            small_table.row(5_000.0).capacity_loss_pct["parallel"]
+            > small_table.row(25_000.0).capacity_loss_pct["parallel"]
+        )
+
+
+class TestPaperConstants:
+    def test_paper_tables_cover_sweep(self):
+        for size in TABLE1_SIZES_F:
+            for m in TABLE1_METHODS:
+                assert PAPER_AVG_POWER_W[size][m] > 0
+                assert PAPER_CAPACITY_LOSS_PCT[size][m] > 0
+
+    def test_paper_reference_is_100(self):
+        assert PAPER_CAPACITY_LOSS_PCT[25_000.0]["parallel"] == 100.0
+
+    def test_paper_otem_flat_across_sizes(self):
+        otem = [PAPER_CAPACITY_LOSS_PCT[s]["otem"] for s in TABLE1_SIZES_F]
+        assert max(otem) / min(otem) < 1.2

@@ -1,0 +1,148 @@
+"""Battery-pack aggregation tests."""
+
+import pytest
+
+from repro.battery.pack import DEFAULT_PACK, BatteryPack, PackConfig
+from repro.battery.params import NCR18650A
+
+
+class TestPackConfig:
+    def test_default_layout(self):
+        assert DEFAULT_PACK.series == 96
+        assert DEFAULT_PACK.parallel == 30
+        assert DEFAULT_PACK.cell_count == 2880
+
+    def test_nominal_voltage(self):
+        assert DEFAULT_PACK.nominal_voltage_v == pytest.approx(96 * 3.6)
+
+    def test_capacity(self):
+        assert DEFAULT_PACK.capacity_ah == pytest.approx(30 * 3.1)
+
+    def test_energy_kwh_in_compact_ev_range(self):
+        assert 28 <= DEFAULT_PACK.energy_kwh <= 36
+
+    def test_heat_capacity(self):
+        assert DEFAULT_PACK.heat_capacity_j_per_k == pytest.approx(
+            2880 * NCR18650A.heat_capacity_j_per_k
+        )
+
+    def test_rejects_zero_strings(self):
+        with pytest.raises(ValueError):
+            PackConfig(series=0)
+        with pytest.raises(ValueError):
+            PackConfig(parallel=0)
+
+    def test_max_power_scales_with_parallel(self):
+        small = PackConfig(series=96, parallel=10)
+        assert DEFAULT_PACK.max_power_w == pytest.approx(3 * small.max_power_w)
+
+
+class TestPackElectrical:
+    def test_pack_voc_is_series_sum(self, pack):
+        cell_voc = float(pack.electrical.open_circuit_voltage(100.0))
+        assert pack.open_circuit_voltage() == pytest.approx(96 * cell_voc)
+
+    def test_pack_resistance_layout(self, pack):
+        cell_r = float(pack.electrical.internal_resistance(100.0, 298.0))
+        assert pack.internal_resistance() == pytest.approx(cell_r * 96 / 30)
+
+    def test_discharge_headroom_full(self, pack):
+        # 80% of nominal energy above the 20% floor
+        assert pack.discharge_headroom_j() == pytest.approx(
+            0.8 * pack.config.energy_kwh * 3.6e6
+        )
+
+    def test_discharge_headroom_at_floor(self, pack):
+        pack.state.soc_percent = 20.0
+        assert pack.discharge_headroom_j() == 0.0
+
+
+class TestApplyPower:
+    def test_discharge_reduces_soc(self, pack):
+        before = pack.soc_percent
+        pack.apply_power(50_000.0, 10.0)
+        assert pack.soc_percent < before
+
+    def test_power_balance(self, pack):
+        result = pack.apply_power(50_000.0, 1.0)
+        assert result.terminal_power_w == pytest.approx(50_000.0, rel=1e-6)
+        assert not result.clipped
+
+    def test_current_split_across_strings(self, pack):
+        result = pack.apply_power(50_000.0, 1.0)
+        assert result.pack_current_a == pytest.approx(result.cell_current_a * 30)
+
+    def test_heat_positive_on_discharge(self, pack):
+        assert pack.apply_power(50_000.0, 1.0).heat_w > 0
+
+    def test_chem_energy_exceeds_terminal_energy(self, pack):
+        # chemistry supplies terminal power plus the I^2R loss
+        result = pack.apply_power(50_000.0, 1.0)
+        assert result.chem_energy_j > result.terminal_power_w * 1.0
+
+    def test_charge_negative_chem_energy(self, pack):
+        pack.state.soc_percent = 50.0
+        result = pack.apply_power(-20_000.0, 1.0)
+        assert result.chem_energy_j < 0
+        assert result.cell_current_a < 0
+
+    def test_current_limit_clips(self, pack):
+        result = pack.apply_power(10_000_000.0, 1.0)
+        assert result.clipped
+        assert result.cell_current_a == pytest.approx(NCR18650A.max_current_a)
+
+    def test_no_discharge_below_soc_floor(self, pack):
+        pack.state.soc_percent = BatteryPack.SOC_MIN
+        result = pack.apply_power(10_000.0, 1.0)
+        assert result.clipped
+        assert result.cell_current_a == 0.0
+
+    def test_no_charge_above_full(self, pack):
+        result = pack.apply_power(-10_000.0, 1.0)
+        assert result.clipped
+        assert result.cell_current_a == 0.0
+
+    def test_aging_accumulates(self, pack):
+        pack.apply_power(50_000.0, 10.0)
+        assert pack.loss_percent > 0
+
+    def test_rejects_nonpositive_dt(self, pack):
+        with pytest.raises(ValueError):
+            pack.apply_power(1_000.0, 0.0)
+
+    def test_hot_pack_delivers_power_more_efficiently(self):
+        cold = BatteryPack(initial_temp_k=278.15)
+        hot = BatteryPack(initial_temp_k=318.15)
+        rc = cold.apply_power(50_000.0, 1.0)
+        rh = hot.apply_power(50_000.0, 1.0)
+        assert rh.heat_w < rc.heat_w
+        assert rh.chem_energy_j < rc.chem_energy_j
+
+
+class TestLifecycle:
+    def test_set_temperature(self, pack):
+        pack.set_temperature(310.0)
+        assert pack.temp_k == 310.0
+
+    def test_set_temperature_rejects_nonpositive(self, pack):
+        with pytest.raises(ValueError):
+            pack.set_temperature(0.0)
+
+    def test_reset(self, pack):
+        pack.apply_power(50_000.0, 100.0)
+        pack.set_temperature(320.0)
+        pack.reset()
+        assert pack.soc_percent == 100.0
+        assert pack.temp_k == 298.0
+        assert pack.loss_percent == 0.0
+
+    def test_initial_condition_validation(self):
+        with pytest.raises(ValueError):
+            BatteryPack(initial_soc_percent=150.0)
+        with pytest.raises(ValueError):
+            BatteryPack(initial_temp_k=-5.0)
+
+    def test_soc_never_negative_under_deep_drain(self, small_pack):
+        for _ in range(10_000):
+            small_pack.apply_power(500.0, 10.0)
+        assert small_pack.soc_percent >= 0.0

@@ -1,0 +1,46 @@
+"""Cell-parameter validation tests."""
+
+import pytest
+
+from repro.battery.params import NCR18650A, CellParams
+
+
+class TestDefaults:
+    def test_capacity_matches_datasheet(self):
+        assert NCR18650A.capacity_ah == pytest.approx(3.1)
+
+    def test_nominal_voltage(self):
+        assert NCR18650A.nominal_voltage_v == pytest.approx(3.6)
+
+    def test_aging_exponent_in_physical_band(self):
+        assert 1.0 <= NCR18650A.aging_current_exp <= 2.0
+
+    def test_activation_energy_in_literature_band(self):
+        # Li-ion capacity-fade activation energies: ~20-80 kJ/mol
+        assert 20_000 <= NCR18650A.aging_activation_j_per_mol <= 80_000
+
+
+class TestValidation:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            CellParams(capacity_ah=0.0)
+
+    def test_rejects_negative_resistance_base(self):
+        with pytest.raises(ValueError):
+            CellParams(res_base=-0.01)
+
+    def test_rejects_bad_aging_exponent(self):
+        with pytest.raises(ValueError):
+            CellParams(aging_current_exp=5.0)
+
+    def test_rejects_negative_heat_capacity(self):
+        with pytest.raises(ValueError):
+            CellParams(heat_capacity_j_per_k=-1.0)
+
+    def test_rejects_zero_max_current(self):
+        with pytest.raises(ValueError):
+            CellParams(max_current_a=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            NCR18650A.capacity_ah = 5.0

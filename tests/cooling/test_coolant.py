@@ -1,0 +1,48 @@
+"""Coolant-parameter tests."""
+
+import pytest
+
+from repro.cooling.coolant import DEFAULT_COOLANT, CoolantParams
+
+
+class TestDefaults:
+    def test_cooler_can_hold_steady_heat(self):
+        # max extraction (eta * P_max) must exceed the pack's sustained
+        # heat generation (~3 kW on aggressive cycles)
+        p = DEFAULT_COOLANT
+        assert p.cooler_efficiency * p.max_cooler_power_w > 3_000.0
+
+    def test_min_inlet_is_cool(self):
+        assert DEFAULT_COOLANT.min_inlet_temp_k < 290.0
+
+    def test_pump_power_modest(self):
+        assert DEFAULT_COOLANT.pump_power_w <= 200.0
+
+
+class TestValidation:
+    def test_rejects_zero_heat_transfer(self):
+        with pytest.raises(ValueError):
+            CoolantParams(h_battery_coolant_w_per_k=0.0)
+
+    def test_rejects_zero_efficiency(self):
+        with pytest.raises(ValueError):
+            CoolantParams(cooler_efficiency=0.0)
+
+    def test_rejects_negative_pump(self):
+        with pytest.raises(ValueError):
+            CoolantParams(pump_power_w=-1.0)
+
+    def test_rejects_negative_passive_h(self):
+        with pytest.raises(ValueError):
+            CoolantParams(passive_h_w_per_k=-1.0)
+
+
+class TestMaxInletDrop:
+    def test_formula(self):
+        p = DEFAULT_COOLANT
+        expected = p.cooler_efficiency * p.max_cooler_power_w / p.flow_capacity_rate_w_per_k
+        assert p.max_inlet_drop_k(310.0) == pytest.approx(expected)
+
+    def test_independent_of_outlet_for_fixed_limits(self):
+        p = DEFAULT_COOLANT
+        assert p.max_inlet_drop_k(300.0) == p.max_inlet_drop_k(320.0)

@@ -1,0 +1,46 @@
+"""CostWeights validation tests."""
+
+import pytest
+
+from repro.core.cost import CostWeights
+
+
+class TestDefaults:
+    def test_energy_terms_symmetric(self):
+        w = CostWeights()
+        assert w.w1 == w.w3 == 1.0
+
+    def test_aging_weight_dominant(self):
+        # a percent of battery life must be worth many joules
+        assert CostWeights().w2 > 1e9
+
+    def test_terminal_refs_physical(self):
+        w = CostWeights()
+        assert 280.0 < w.terminal_temp_ref < 320.0
+        assert 0.0 < w.terminal_soe_ref <= 100.0
+
+
+class TestValidation:
+    def test_rejects_negative_w1(self):
+        with pytest.raises(ValueError):
+            CostWeights(w1=-1.0)
+
+    def test_rejects_zero_hinge(self):
+        with pytest.raises(ValueError):
+            CostWeights(hinge_temp=0.0)
+
+    def test_rejects_bad_terminal_soe(self):
+        with pytest.raises(ValueError):
+            CostWeights(terminal_soe_ref=150.0)
+
+    def test_rejects_zero_refill_power(self):
+        with pytest.raises(ValueError):
+            CostWeights(terminal_refill_power_w=0.0)
+
+    def test_rejects_zero_future_time(self):
+        with pytest.raises(ValueError):
+            CostWeights(terminal_future_s=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CostWeights().w1 = 5.0

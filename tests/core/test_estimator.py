@@ -1,0 +1,134 @@
+"""Thermal Kalman filter tests."""
+
+import numpy as np
+import pytest
+
+from repro.battery.pack import DEFAULT_PACK
+from repro.controllers.cooling_only import CoolingOnlyController
+from repro.controllers.wrappers import NoisyObservations
+from repro.cooling.coolant import DEFAULT_COOLANT
+from repro.cooling.loop import CoolingLoop
+from repro.core.estimator import FilteredObservations, ThermalKalmanFilter
+from tests.controllers.test_baselines import make_obs
+
+CB = DEFAULT_PACK.heat_capacity_j_per_k
+
+
+def simulate_with_noise(filter_, sigma, steps=400, heat=2_000.0, seed=0):
+    """Drive the true thermal plant, feed the filter noisy measurements."""
+    rng = np.random.default_rng(seed)
+    loop = CoolingLoop(DEFAULT_COOLANT, CB)
+    tb, tc = 298.0, 298.0
+    raw_err = []
+    filt_err = []
+    for _ in range(steps):
+        r = loop.step(tb, tc, 298.0, heat, 1.0, cooling_active=False)
+        tb, tc = r.battery_temp_k, r.coolant_temp_k
+        z_tb = tb + rng.normal(0, sigma)
+        z_tc = tc + rng.normal(0, sigma)
+        est_tb, _ = filter_.update(z_tb, z_tc, heat_w=heat)
+        raw_err.append(abs(z_tb - tb))
+        filt_err.append(abs(est_tb - tb))
+    return float(np.mean(raw_err)), float(np.mean(filt_err))
+
+
+class TestFilterCore:
+    def test_initializes_from_first_measurement(self):
+        kf = ThermalKalmanFilter(DEFAULT_COOLANT, CB)
+        est = kf.update(305.0, 303.0)
+        assert est == (305.0, 303.0)
+
+    def test_gain_shape_and_stability(self):
+        kf = ThermalKalmanFilter(DEFAULT_COOLANT, CB)
+        assert kf.gain.shape == (2, 2)
+        assert np.all(np.abs(np.linalg.eigvals(kf.gain)) < 1.0)
+
+    def test_reset(self):
+        kf = ThermalKalmanFilter(DEFAULT_COOLANT, CB)
+        kf.update(305.0, 303.0)
+        kf.reset()
+        assert kf.state is None
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ThermalKalmanFilter(DEFAULT_COOLANT, CB, dt=0.0)
+        with pytest.raises(ValueError):
+            ThermalKalmanFilter(DEFAULT_COOLANT, CB, measurement_sigma_k=0.0)
+
+    def test_reduces_measurement_error(self):
+        """The headline property: filtered error << raw sensor error."""
+        kf = ThermalKalmanFilter(DEFAULT_COOLANT, CB, measurement_sigma_k=1.5)
+        raw, filt = simulate_with_noise(kf, sigma=1.5)
+        assert filt < 0.5 * raw
+
+    def test_tracks_without_bias(self):
+        """No systematic offset while the pack heats."""
+        kf = ThermalKalmanFilter(DEFAULT_COOLANT, CB, measurement_sigma_k=1.0)
+        loop = CoolingLoop(DEFAULT_COOLANT, CB)
+        rng = np.random.default_rng(1)
+        tb, tc = 298.0, 298.0
+        errors = []
+        for _ in range(600):
+            r = loop.step(tb, tc, 298.0, 2_500.0, 1.0, cooling_active=False)
+            tb, tc = r.battery_temp_k, r.coolant_temp_k
+            est_tb, _ = kf.update(
+                tb + rng.normal(0, 1.0), tc + rng.normal(0, 1.0), heat_w=2_500.0
+            )
+            errors.append(est_tb - tb)
+        assert abs(float(np.mean(errors[100:]))) < 0.3
+
+    def test_noise_free_measurements_pass_through(self):
+        kf = ThermalKalmanFilter(DEFAULT_COOLANT, CB, measurement_sigma_k=1.0)
+        loop = CoolingLoop(DEFAULT_COOLANT, CB)
+        tb, tc = 300.0, 300.0
+        for _ in range(200):
+            r = loop.step(tb, tc, 300.0, 1_000.0, 1.0, cooling_active=False)
+            tb, tc = r.battery_temp_k, r.coolant_temp_k
+            est_tb, est_tc = kf.update(tb, tc, heat_w=1_000.0)
+        assert est_tb == pytest.approx(tb, abs=0.2)
+        assert est_tc == pytest.approx(tc, abs=0.2)
+
+
+class TestFilteredObservations:
+    def test_preserves_declaration(self):
+        wrapped = FilteredObservations(CoolingOnlyController())
+        assert wrapped.uses_cooling
+        assert "kf" in wrapped.name
+
+    def test_smooths_thermostat_chatter(self):
+        """On-threshold noise flips a raw thermostat; the filter steadies it."""
+        noisy_flips = 0
+        filtered_flips = 0
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            raw = CoolingOnlyController()
+            filt = FilteredObservations(CoolingOnlyController())
+            last_raw = last_filt = None
+            for k in range(40):
+                temp = 299.15 + rng.normal(0, 1.5)
+                obs = make_obs(temp_k=temp)
+                d_raw = raw.control(obs).cooling_active
+                d_filt = filt.control(obs).cooling_active
+                if last_raw is not None and d_raw != last_raw:
+                    noisy_flips += 1
+                if last_filt is not None and d_filt != last_filt:
+                    filtered_flips += 1
+                last_raw, last_filt = d_raw, d_filt
+        assert filtered_flips < noisy_flips
+
+    def test_composes_with_noise_wrapper(self, short_request):
+        from repro.sim.engine import Simulator
+
+        controller = NoisyObservations(
+            FilteredObservations(CoolingOnlyController()),
+            temp_sigma_k=1.5,
+            seed=0,
+        )
+        result = Simulator(controller).run(short_request)
+        assert np.all(np.isfinite(result.trace.battery_temp_k))
+
+    def test_reset_chains(self):
+        wrapped = FilteredObservations(CoolingOnlyController())
+        wrapped.control(make_obs(temp_k=305.0))
+        wrapped.reset()
+        assert wrapped._filter.state is None

@@ -1,0 +1,139 @@
+"""MPC planner tests."""
+
+import numpy as np
+import pytest
+
+from repro.battery.pack import DEFAULT_PACK, BatteryPack
+from repro.cooling.coolant import DEFAULT_COOLANT
+from repro.core.cost import CostWeights
+from repro.core.mpc import MPCPlanner
+from repro.core.rollout import PredictionModel
+from repro.hees.hybrid import default_battery_converter, default_cap_converter
+from repro.ultracap.bank import UltracapBank
+from repro.ultracap.params import UltracapParams
+
+
+def make_planner(horizon=8, **planner_kwargs):
+    pack = BatteryPack(DEFAULT_PACK)
+    bank = UltracapBank(UltracapParams())
+    model = PredictionModel(
+        DEFAULT_PACK,
+        UltracapParams(),
+        DEFAULT_COOLANT,
+        default_battery_converter(pack),
+        default_cap_converter(bank),
+        CostWeights(),
+    )
+    return MPCPlanner(model, horizon=horizon, **planner_kwargs)
+
+
+class TestConstruction:
+    def test_rejects_zero_horizon(self):
+        with pytest.raises(ValueError):
+            make_planner(horizon=0)
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(ValueError):
+            make_planner(step_s=0.0)
+
+    def test_rejects_inverted_inlet_span(self):
+        with pytest.raises(ValueError):
+            make_planner(inlet_span_k=(310.0, 300.0))
+
+
+class TestPlanShape:
+    def test_plan_lengths(self):
+        planner = make_planner(horizon=8)
+        plan = planner.plan((298.0, 298.0, 90.0, 80.0), np.full(8, 15_000.0))
+        assert plan.horizon == 8
+        assert plan.cap_bus_w.shape == (8,)
+        assert plan.inlet_temp_k.shape == (8,)
+
+    def test_short_preview_zero_padded(self):
+        planner = make_planner(horizon=8)
+        plan = planner.plan((298.0, 298.0, 90.0, 80.0), np.full(3, 15_000.0))
+        assert plan.horizon == 8
+
+    def test_inputs_within_bounds(self):
+        planner = make_planner(horizon=6)
+        plan = planner.plan((305.0, 305.0, 70.0, 60.0), np.full(6, 25_000.0))
+        assert np.all(np.abs(plan.cap_bus_w) <= planner._cap_hi + 1e-6)
+        assert np.all(plan.inlet_temp_k >= 288.15 - 1e-6)
+        assert np.all(plan.inlet_temp_k <= 312.0 + 1e-6)
+
+
+class TestPlanQuality:
+    def test_hot_state_plans_cooling(self):
+        planner = make_planner(horizon=8)
+        plan = planner.plan((312.0, 311.0, 80.0, 90.0), np.full(8, 20_000.0))
+        # some horizon step must command a meaningfully colder inlet
+        assert np.min(plan.inlet_temp_k) < 305.0
+
+    def test_multistart_escapes_stall(self):
+        """A hot, high-cost state must not return the do-nothing plan.
+
+        Without multi-start L-BFGS-B stalls after ~2 iterations here and
+        keeps inlet at T_c (documented optimizer pathology).
+        """
+        planner = make_planner(horizon=12)
+        state = (313.0, 311.0, 70.0, 60.0)
+        plan = planner.plan(state, np.full(12, 20_000.0))
+        do_nothing = planner._model.rollout_cost(
+            state, [0.0] * 12, [311.0] * 12, [20_000.0] * 12, planner.step_s
+        )
+        assert plan.solver_cost < do_nothing
+
+    def test_beats_full_cooling_reference(self):
+        planner = make_planner(horizon=8)
+        state = (310.0, 309.0, 80.0, 90.0)
+        preview = np.full(8, 20_000.0)
+        plan = planner.plan(state, preview)
+        full_cool = planner._model.rollout_cost(
+            state, [0.0] * 8, [288.15] * 8, list(preview), planner.step_s
+        )
+        assert plan.solver_cost <= full_cool + 1e-6
+
+    def test_warm_start_reused(self):
+        planner = make_planner(horizon=6)
+        state = (305.0, 304.0, 80.0, 80.0)
+        planner.plan(state, np.full(6, 15_000.0))
+        assert planner._last_z is not None
+        planner.reset()
+        assert planner._last_z is None
+
+    def test_predicted_rollout_attached(self):
+        planner = make_planner(horizon=6)
+        plan = planner.plan((298.0, 298.0, 90.0, 80.0), np.full(6, 10_000.0))
+        assert len(plan.predicted.temps_k) == 7
+        assert plan.solver_iterations >= 0
+
+
+class TestSLSQPBackend:
+    """The explicit-constraint formulation of the paper's Eq. 18."""
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            make_planner(method="simplex")
+
+    def test_produces_feasible_plan(self):
+        planner = make_planner(horizon=6, method="slsqp")
+        plan = planner.plan((308.0, 307.0, 70.0, 60.0), np.full(6, 20_000.0))
+        # explicit constraints: predicted trajectory inside C1/C4/C5
+        assert max(plan.predicted.temps_k) <= 313.15 + 0.5
+        assert min(plan.predicted.socs) >= 19.5
+        assert min(plan.predicted.soes) >= 19.0
+
+    def test_cools_from_hot_state(self):
+        planner = make_planner(horizon=8, method="slsqp")
+        plan = planner.plan((312.5, 311.0, 80.0, 80.0), np.full(8, 22_000.0))
+        assert np.min(plan.inlet_temp_k) < 308.0
+
+    def test_comparable_cost_to_penalty(self):
+        state = (310.0, 309.0, 75.0, 70.0)
+        preview = np.full(8, 20_000.0)
+        pen = make_planner(horizon=8, method="penalty").plan(state, preview)
+        slsqp = make_planner(horizon=8, method="slsqp").plan(state, preview)
+        # same units once penalties are excluded: compare pure Eq.19+terminal
+        pen_pure = pen.predicted.objective + pen.predicted.terminal
+        slsqp_pure = slsqp.predicted.objective + slsqp.predicted.terminal
+        assert slsqp_pure <= pen_pure * 1.15

@@ -1,0 +1,110 @@
+"""OTEM controller tests."""
+
+import numpy as np
+import pytest
+
+from repro.controllers.base import Architecture, Observation
+from repro.core.otem import OTEMController
+
+
+def make_obs(step=0, temp_k=298.0, soe=100.0, soc=95.0, power=15_000.0, preview_len=60):
+    return Observation(
+        step_index=step,
+        time_s=float(step),
+        dt=1.0,
+        power_request_w=power,
+        preview_w=np.full(preview_len, power),
+        battery_soc_percent=soc,
+        battery_temp_k=temp_k,
+        coolant_temp_k=temp_k,
+        cap_soe_percent=soe,
+    )
+
+
+@pytest.fixture()
+def otem():
+    return OTEMController(horizon=6, mpc_step_s=5.0, max_function_evals=60)
+
+
+class TestInterface:
+    def test_declares_hybrid_with_cooling(self, otem):
+        assert otem.architecture is Architecture.HYBRID
+        assert otem.uses_cooling
+        assert otem.name == "OTEM"
+
+    def test_required_preview(self, otem):
+        assert otem.required_preview_steps(1.0) == 30
+        assert otem.required_preview_steps(5.0) == 6
+
+
+class TestPreviewAggregation:
+    def test_constant_preview(self, otem):
+        coarse = otem._aggregate_preview(np.full(30, 10_000.0), 1.0)
+        assert coarse.shape == (6,)
+        assert np.allclose(coarse, 10_000.0)
+
+    def test_short_preview_padded(self, otem):
+        coarse = otem._aggregate_preview(np.full(10, 10_000.0), 1.0)
+        assert coarse[0] == pytest.approx(10_000.0)
+        assert coarse[-1] == 0.0
+
+    def test_bin_means(self, otem):
+        fine = np.arange(30, dtype=float)
+        coarse = otem._aggregate_preview(fine, 1.0)
+        assert coarse[0] == pytest.approx(np.mean(fine[:5]))
+
+
+class TestMoveBlocking:
+    def test_replans_on_schedule(self, otem):
+        d0 = otem.control(make_obs(step=0))
+        assert d0.info["replanned"]
+        d1 = otem.control(make_obs(step=1))
+        assert not d1.info["replanned"]
+        d5 = otem.control(make_obs(step=5))
+        assert d5.info["replanned"]
+
+    def test_held_command_constant_between_replans(self, otem):
+        d0 = otem.control(make_obs(step=0))
+        d1 = otem.control(make_obs(step=1))
+        assert d1.cap_bus_w == d0.cap_bus_w
+
+    def test_reset_forces_replan(self, otem):
+        otem.control(make_obs(step=0))
+        otem.reset()
+        d = otem.control(make_obs(step=1))
+        assert d.info["replanned"]
+
+
+class TestBehaviour:
+    def test_cooling_engages_when_hot(self, otem):
+        d = otem.control(make_obs(temp_k=312.0, power=20_000.0))
+        assert d.cooling_active
+        assert d.inlet_temp_k < 312.0 - 0.05
+
+    def test_no_cooler_command_when_cold(self, otem):
+        d = otem.control(make_obs(temp_k=290.0, power=5_000.0))
+        # inlet at coolant temperature = cooler idle (pump may run)
+        assert d.inlet_temp_k >= 290.0 - 0.1
+
+    def test_solver_diagnostics_exposed(self, otem):
+        d = otem.control(make_obs())
+        assert "solver_cost" in d.info
+        assert "solver_iterations" in d.info
+
+    def test_large_peak_in_preview_prepares_cap_discharge(self):
+        otem = OTEMController(horizon=6, mpc_step_s=5.0, max_function_evals=120)
+        preview = np.concatenate([np.full(10, 5_000.0), np.full(20, 90_000.0)])
+        obs = Observation(
+            step_index=0,
+            time_s=0.0,
+            dt=1.0,
+            power_request_w=5_000.0,
+            preview_w=preview,
+            battery_soc_percent=95.0,
+            battery_temp_k=300.0,
+            coolant_temp_k=300.0,
+            cap_soe_percent=100.0,
+        )
+        d = otem.control(obs)
+        # the plan must discharge the cap during the previewed peak steps
+        assert np.max(otem._plan.cap_bus_w[1:]) > 10_000.0

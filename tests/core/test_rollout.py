@@ -1,0 +1,160 @@
+"""Prediction-model tests.
+
+The critical property: the rollout must match the real plant (HybridHEES +
+CoolingLoop) step-for-step, because the MPC's quality is bounded by its
+model fidelity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.battery.pack import DEFAULT_PACK, BatteryPack
+from repro.cooling.coolant import DEFAULT_COOLANT
+from repro.cooling.loop import CoolingLoop
+from repro.core.cost import CostWeights
+from repro.core.rollout import TEMP_MAX_K, PredictionModel
+from repro.hees.hybrid import (
+    HybridHEES,
+    default_battery_converter,
+    default_cap_converter,
+)
+from repro.ultracap.bank import UltracapBank
+from repro.ultracap.params import UltracapParams
+
+
+@pytest.fixture()
+def model():
+    pack = BatteryPack(DEFAULT_PACK)
+    bank = UltracapBank(UltracapParams())
+    return PredictionModel(
+        DEFAULT_PACK,
+        UltracapParams(),
+        DEFAULT_COOLANT,
+        default_battery_converter(pack),
+        default_cap_converter(bank),
+        CostWeights(),
+    )
+
+
+class TestScalarPiecesMatchVectorModels:
+    def test_voc(self, model):
+        pack = BatteryPack()
+        for soc in [5.0, 30.0, 60.0, 95.0]:
+            assert model._voc(soc) == pytest.approx(
+                float(pack.electrical.open_circuit_voltage(soc)), rel=1e-12
+            )
+
+    def test_resistance(self, model):
+        pack = BatteryPack()
+        for soc, temp in [(20.0, 280.0), (50.0, 298.15), (90.0, 315.0)]:
+            assert model._res(soc, temp) == pytest.approx(
+                float(pack.electrical.internal_resistance(soc, temp)), rel=1e-12
+            )
+
+    def test_cap_converter_efficiency(self, model):
+        bank = UltracapBank(UltracapParams())
+        conv = default_cap_converter(bank)
+        for v in [8.0, 12.0, 16.2]:
+            assert model._cap_eta(v) == pytest.approx(float(conv.efficiency(v)), rel=1e-12)
+
+    def test_bat_converter_efficiency(self, model):
+        pack = BatteryPack()
+        conv = default_battery_converter(pack)
+        for v in [300.0, 345.6, 400.0]:
+            assert model._bat_eta(v) == pytest.approx(float(conv.efficiency(v)), rel=1e-12)
+
+
+class TestRolloutMatchesPlant:
+    @pytest.mark.parametrize(
+        "cap_cmd,inlet_cmd",
+        [(0.0, 320.0), (15_000.0, 320.0), (0.0, 288.15), (-8_000.0, 295.0)],
+    )
+    def test_state_trajectories(self, model, cap_cmd, inlet_cmd):
+        """Roll 8 steps and compare (T_b, T_c, SoC, SoE) to the plant."""
+        dt = 5.0
+        n = 8
+        preview = [20_000.0] * n
+
+        pack = BatteryPack(initial_soc_percent=90.0, initial_temp_k=305.0)
+        bank = UltracapBank(UltracapParams(), initial_soe_percent=80.0)
+        plant = HybridHEES(pack, bank)
+        loop = CoolingLoop(DEFAULT_COOLANT, DEFAULT_PACK.heat_capacity_j_per_k)
+
+        state0 = (305.0, 305.0, 90.0, 80.0)
+        pred = model.rollout(state0, [cap_cmd] * n, [inlet_cmd] * n, preview, dt)
+
+        tc = 305.0
+        pump = DEFAULT_COOLANT.pump_power_w
+        for k in range(n):
+            inlet = loop.clamp_inlet(inlet_cmd, tc)
+            p_cool = loop.cooler_power_w(inlet, tc) + pump
+            step = plant.step(preview[k] + p_cool, cap_cmd, dt)
+            thermal = loop.step(pack.temp_k, tc, inlet, step.battery_heat_w, dt)
+            pack.set_temperature(thermal.battery_temp_k)
+            tc = thermal.coolant_temp_k
+
+            assert pred.temps_k[k + 1] == pytest.approx(pack.temp_k, abs=0.05)
+            assert pred.coolant_k[k + 1] == pytest.approx(tc, abs=0.05)
+            assert pred.socs[k + 1] == pytest.approx(pack.soc_percent, abs=0.05)
+            assert pred.soes[k + 1] == pytest.approx(bank.soe_percent, abs=0.5)
+
+
+class TestCostStructure:
+    def test_fast_path_equals_detailed_cost(self, model):
+        state = (305.0, 303.0, 80.0, 70.0)
+        cap = [5_000.0] * 6
+        inlet = [295.0] * 6
+        preview = [15_000.0] * 6
+        fast = model.rollout_cost(state, cap, inlet, preview, 5.0)
+        detailed = model.rollout(state, cap, inlet, preview, 5.0)
+        assert fast == pytest.approx(detailed.cost, rel=1e-12)
+
+    def test_cost_components_sum(self, model):
+        r = model.rollout((310.0, 308.0, 60.0, 40.0), [0.0] * 6, [320.0] * 6,
+                          [25_000.0] * 6, 5.0)
+        assert r.cost == pytest.approx(r.objective + r.penalty + r.terminal)
+
+    def test_hot_trajectory_penalized(self, model):
+        hot = model.rollout((TEMP_MAX_K + 2.0, TEMP_MAX_K + 2.0, 80.0, 80.0),
+                            [0.0] * 4, [330.0] * 4, [30_000.0] * 4, 5.0)
+        assert hot.penalty > 0
+
+    def test_cool_trajectory_unpenalized(self, model):
+        cool = model.rollout((298.0, 298.0, 80.0, 80.0),
+                             [0.0] * 4, [320.0] * 4, [10_000.0] * 4, 5.0)
+        assert cool.penalty == 0.0
+
+    def test_low_soe_terminal_prices_refill(self, model):
+        full = model.rollout((298.0, 298.0, 80.0, 100.0),
+                             [0.0] * 4, [320.0] * 4, [0.0] * 4, 5.0)
+        empty = model.rollout((298.0, 298.0, 80.0, 25.0),
+                              [0.0] * 4, [320.0] * 4, [0.0] * 4, 5.0)
+        assert empty.terminal > full.terminal
+
+    def test_hot_terminal_prices_future_aging(self, model):
+        cool = model.rollout((298.0, 298.0, 80.0, 100.0),
+                             [0.0] * 4, [320.0] * 4, [0.0] * 4, 5.0)
+        hot = model.rollout((312.0, 312.0, 80.0, 100.0),
+                            [0.0] * 4, [330.0] * 4, [0.0] * 4, 5.0)
+        assert hot.terminal > cool.terminal
+
+    def test_cooling_counts_in_objective(self, model):
+        state = (310.0, 310.0, 80.0, 100.0)
+        none = model.rollout(state, [0.0] * 4, [330.0] * 4, [10_000.0] * 4, 5.0)
+        cold = model.rollout(state, [0.0] * 4, [288.15] * 4, [10_000.0] * 4, 5.0)
+        assert cold.cooling_j > none.cooling_j
+
+    def test_cap_discharge_reduces_battery_aging_in_horizon(self, model):
+        state = (308.0, 308.0, 80.0, 100.0)
+        none = model.rollout(state, [0.0] * 4, [330.0] * 4, [30_000.0] * 4, 5.0)
+        cap = model.rollout(state, [30_000.0] * 4, [330.0] * 4, [30_000.0] * 4, 5.0)
+        assert cap.qloss_percent < none.qloss_percent
+
+    def test_charging_cap_cannot_starve_load(self, model):
+        """Mirror of the plant's load-priority guard."""
+        state = (298.0, 298.0, 90.0, 50.0)
+        heavy = model.pack_pmax * 0.95
+        r = model.rollout(state, [-60_000.0] * 3, [320.0] * 3, [heavy] * 3, 5.0)
+        # the guard reduces the charge command instead of overdrawing the
+        # battery: SoE must not rise much under a near-limit load
+        assert r.soes[-1] < 55.0

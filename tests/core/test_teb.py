@@ -1,0 +1,110 @@
+"""TEB metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.teb import (
+    TEBParams,
+    teb_preparation_score,
+    teb_trace,
+    upcoming_demand_w,
+)
+from repro.sim.trace import CHANNELS, Trace
+
+
+def make_trace(temps_k, soes, requests):
+    n = len(temps_k)
+    base = {name: np.zeros(n) for name in CHANNELS}
+    base["time_s"] = np.arange(n, dtype=float)
+    base["battery_temp_k"] = np.asarray(temps_k, dtype=float)
+    base["cap_soe_percent"] = np.asarray(soes, dtype=float)
+    base["request_w"] = np.asarray(requests, dtype=float)
+    base["coolant_temp_k"] = np.asarray(temps_k, dtype=float)
+    base["inlet_temp_k"] = np.asarray(temps_k, dtype=float)
+    base["battery_soc_percent"] = np.full(n, 80.0)
+    return Trace(**base)
+
+
+class TestTEBParams:
+    def test_rejects_inverted_temps(self):
+        with pytest.raises(ValueError):
+            TEBParams(temp_max_k=300.0, temp_ref_k=310.0)
+
+    def test_rejects_inverted_soe(self):
+        with pytest.raises(ValueError):
+            TEBParams(soe_min_percent=90.0, soe_max_percent=50.0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            TEBParams(alpha=1.5)
+
+
+class TestTEBTrace:
+    def test_full_budget(self):
+        trace = make_trace([295.15, 295.15], [100.0, 100.0], [0.0, 0.0])
+        assert np.allclose(teb_trace(trace), 1.0)
+
+    def test_zero_budget(self):
+        trace = make_trace([313.15, 313.15], [20.0, 20.0], [0.0, 0.0])
+        assert np.allclose(teb_trace(trace), 0.0)
+
+    def test_half_alpha_weighting(self):
+        # full thermal budget, empty energy budget -> alpha
+        trace = make_trace([295.15, 295.15], [20.0, 20.0], [0.0, 0.0])
+        assert np.allclose(teb_trace(trace), 0.5)
+
+    def test_clipped_outside_range(self):
+        trace = make_trace([330.0, 280.0], [0.0, 110.0], [0.0, 0.0])
+        teb = teb_trace(trace)
+        assert np.all(teb >= 0.0)
+        assert np.all(teb <= 1.0)
+
+    def test_custom_alpha(self):
+        trace = make_trace([295.15], [20.0], [0.0])
+        teb = teb_trace(trace, TEBParams(alpha=0.8))
+        assert teb[0] == pytest.approx(0.8)
+
+
+class TestUpcomingDemand:
+    def test_constant_demand(self):
+        trace = make_trace([298.0] * 10, [100.0] * 10, [5_000.0] * 10)
+        assert np.allclose(upcoming_demand_w(trace, 3), 5_000.0)
+
+    def test_ignores_regen(self):
+        trace = make_trace([298.0] * 4, [100.0] * 4, [-5_000.0] * 4)
+        assert np.allclose(upcoming_demand_w(trace, 2), 0.0)
+
+    def test_leads_a_step_pulse(self):
+        requests = [0.0] * 5 + [10_000.0] * 5
+        trace = make_trace([298.0] * 10, [100.0] * 10, requests)
+        demand = upcoming_demand_w(trace, 5)
+        assert demand[2] > 0.0  # sees the pulse before it arrives
+        assert demand[0] == 0.0
+
+    def test_rejects_zero_lookahead(self):
+        trace = make_trace([298.0] * 4, [100.0] * 4, [0.0] * 4)
+        with pytest.raises(ValueError):
+            upcoming_demand_w(trace, 0)
+
+
+class TestPreparationScore:
+    def test_positive_when_budget_leads_demand(self):
+        # budget raised just before the demand block and held through it
+        n = 100
+        requests = np.concatenate([np.zeros(50), np.full(50, 20_000.0)])
+        soes = np.concatenate([np.full(30, 40.0), np.full(70, 100.0)])
+        trace = make_trace([298.0] * n, soes, requests)
+        assert teb_preparation_score(trace, 20) > 0.5
+
+    def test_zero_for_constant_budget(self):
+        trace = make_trace([298.0] * 20, [60.0] * 20, np.random.default_rng(0).uniform(0, 1e4, 20))
+        assert teb_preparation_score(trace, 5) == 0.0
+
+    def test_negative_for_depleting_budget(self):
+        # budget is full only while idle and crashes as demand arrives: the
+        # un-prepared pattern the baselines exhibit
+        n = 100
+        requests = np.concatenate([np.zeros(50), np.full(50, 20_000.0)])
+        soes = np.concatenate([np.full(50, 100.0), np.linspace(100, 20, 50)])
+        trace = make_trace([298.0] * n, soes, requests)
+        assert teb_preparation_score(trace, 20) < -0.2

@@ -1,0 +1,122 @@
+"""DriveCycle container tests."""
+
+import numpy as np
+import pytest
+
+from repro.drivecycle.cycle import DriveCycle
+
+
+@pytest.fixture()
+def ramp_cycle():
+    """0 -> 10 m/s over 10 s, hold 10 s, back to 0 over 10 s."""
+    speed = np.concatenate(
+        [np.linspace(0, 10, 11), np.full(9, 10.0), np.linspace(10, 0, 11)]
+    )
+    return DriveCycle("ramp", speed, dt=1.0)
+
+
+class TestConstruction:
+    def test_basic(self, ramp_cycle):
+        assert ramp_cycle.name == "ramp"
+        assert len(ramp_cycle) == 31
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ValueError):
+            DriveCycle("bad", [0.0, -1.0], dt=1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            DriveCycle("bad", [0.0, np.nan], dt=1.0)
+
+    def test_rejects_short_trace(self):
+        with pytest.raises(ValueError):
+            DriveCycle("bad", [0.0], dt=1.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            DriveCycle("bad", np.zeros((2, 2)), dt=1.0)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            DriveCycle("bad", [0.0, 1.0], dt=0.0)
+
+    def test_speed_is_readonly(self, ramp_cycle):
+        with pytest.raises(ValueError):
+            ramp_cycle.speed_mps[0] = 99.0
+
+    def test_input_copy_is_independent(self):
+        src = np.array([0.0, 1.0, 2.0])
+        cycle = DriveCycle("c", src, dt=1.0)
+        src[0] = 50.0
+        assert cycle.speed_mps[0] == 0.0
+
+
+class TestDerived:
+    def test_duration(self, ramp_cycle):
+        assert ramp_cycle.duration_s == pytest.approx(30.0)
+
+    def test_time_axis(self, ramp_cycle):
+        t = ramp_cycle.time_s
+        assert t[0] == 0.0
+        assert t[-1] == pytest.approx(30.0)
+
+    def test_distance_of_trapezoid_profile(self, ramp_cycle):
+        # ramp up: 50 m, hold: ~100 m, ramp down: 50 m -> 200 m total
+        assert ramp_cycle.distance_m() == pytest.approx(200.0, rel=0.02)
+
+    def test_acceleration_sign(self, ramp_cycle):
+        accel = ramp_cycle.acceleration_ms2()
+        assert accel[2] > 0
+        assert accel[-3] < 0
+
+    def test_stats_max_speed(self, ramp_cycle):
+        assert ramp_cycle.stats().max_speed_kmh == pytest.approx(36.0)
+
+    def test_stats_idle_fraction(self):
+        speed = np.concatenate([np.zeros(10), np.full(10, 5.0)])
+        cycle = DriveCycle("half-idle", speed, dt=1.0)
+        assert cycle.stats().idle_fraction == pytest.approx(0.5)
+
+    def test_stop_count_excludes_leading_stop(self):
+        speed = np.concatenate(
+            [np.zeros(5), np.full(10, 5.0), np.zeros(5), np.full(10, 5.0), np.zeros(5)]
+        )
+        cycle = DriveCycle("stops", speed, dt=1.0)
+        assert cycle.stats().stop_count == 2
+
+
+class TestTransformations:
+    def test_repeat_length(self, ramp_cycle):
+        doubled = ramp_cycle.repeat(2)
+        assert len(doubled) == 2 * len(ramp_cycle) - 1
+
+    def test_repeat_once_is_identity(self, ramp_cycle):
+        assert ramp_cycle.repeat(1) is ramp_cycle
+
+    def test_repeat_name(self, ramp_cycle):
+        assert ramp_cycle.repeat(3).name == "rampx3"
+
+    def test_repeat_distance_scales(self, ramp_cycle):
+        assert ramp_cycle.repeat(2).distance_m() == pytest.approx(
+            2 * ramp_cycle.distance_m(), rel=1e-6
+        )
+
+    def test_repeat_rejects_zero(self, ramp_cycle):
+        with pytest.raises(ValueError):
+            ramp_cycle.repeat(0)
+
+    def test_resample_preserves_distance(self, ramp_cycle):
+        fine = ramp_cycle.resample(0.5)
+        assert fine.dt == 0.5
+        assert fine.distance_m() == pytest.approx(ramp_cycle.distance_m(), rel=0.01)
+
+    def test_resample_same_dt_is_identity(self, ramp_cycle):
+        assert ramp_cycle.resample(1.0) is ramp_cycle
+
+    def test_scaled(self, ramp_cycle):
+        faster = ramp_cycle.scaled(2.0)
+        assert faster.speed_mps.max() == pytest.approx(20.0)
+
+    def test_scaled_rejects_nonpositive(self, ramp_cycle):
+        with pytest.raises(ValueError):
+            ramp_cycle.scaled(0.0)

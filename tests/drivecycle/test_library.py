@@ -1,0 +1,103 @@
+"""Named-cycle library tests: each synthetic cycle must match the published
+statistics of its real counterpart (DESIGN.md substitution table)."""
+
+import numpy as np
+import pytest
+
+from repro.drivecycle.cycle import DriveCycle
+from repro.drivecycle.library import REFERENCE_STATS, available_cycles, get_cycle
+
+TOLERANCE = 0.12  # +/-12% on duration, distance, mean speed
+
+
+def test_available_cycles():
+    assert available_cycles() == [
+        "artemis_urban",
+        "hwfet",
+        "jc08",
+        "la92",
+        "nycc",
+        "udds",
+        "us06",
+        "wltc3",
+    ]
+
+
+def test_unknown_cycle_raises():
+    with pytest.raises(KeyError, match="unknown drive cycle"):
+        get_cycle("nedc")
+
+
+def test_lookup_is_case_insensitive():
+    assert get_cycle("US06").name == "US06"
+
+
+def test_cache_returns_same_object():
+    assert get_cycle("us06") is get_cycle("us06")
+
+
+def test_repeat():
+    single = get_cycle("us06")
+    tripled = get_cycle("us06", repeat=3)
+    assert len(tripled) == 3 * len(single) - 2
+    assert tripled.distance_m() == pytest.approx(3 * single.distance_m(), rel=1e-6)
+
+
+@pytest.mark.parametrize("name", sorted(REFERENCE_STATS))
+class TestReferenceStats:
+    def test_duration(self, name):
+        dur, _, _, _ = REFERENCE_STATS[name]
+        assert get_cycle(name).stats().duration_s == pytest.approx(dur, rel=TOLERANCE)
+
+    def test_distance(self, name):
+        _, dist, _, _ = REFERENCE_STATS[name]
+        assert get_cycle(name).stats().distance_km == pytest.approx(dist, rel=TOLERANCE)
+
+    def test_max_speed(self, name):
+        _, _, vmax, _ = REFERENCE_STATS[name]
+        assert get_cycle(name).stats().max_speed_kmh == pytest.approx(vmax, rel=0.02)
+
+    def test_mean_speed(self, name):
+        _, _, _, vmean = REFERENCE_STATS[name]
+        assert get_cycle(name).stats().mean_speed_kmh == pytest.approx(
+            vmean, rel=TOLERANCE
+        )
+
+    def test_starts_and_ends_stopped(self, name):
+        cycle = get_cycle(name)
+        assert cycle.speed_mps[0] == 0.0
+        assert cycle.speed_mps[-1] == pytest.approx(0.0, abs=0.1)
+
+    def test_is_drivecycle(self, name):
+        assert isinstance(get_cycle(name), DriveCycle)
+
+    def test_accelerations_physical(self, name):
+        # no synthetic cycle should demand more than 4 m/s^2
+        stats = get_cycle(name).stats()
+        assert stats.max_accel_ms2 < 4.0
+        assert stats.max_decel_ms2 < 4.0
+
+
+class TestCycleCharacter:
+    """The controllers react to cycle character, so pin the key contrasts."""
+
+    def test_us06_is_most_aggressive(self):
+        us06 = get_cycle("us06").stats()
+        udds = get_cycle("udds").stats()
+        assert us06.max_speed_kmh > udds.max_speed_kmh
+        assert us06.mean_speed_kmh > 2 * udds.mean_speed_kmh
+
+    def test_hwfet_has_fewest_stops(self):
+        stops = {n: get_cycle(n).stats().stop_count for n in available_cycles()}
+        assert stops["hwfet"] == min(stops.values())
+
+    def test_nycc_is_slowest(self):
+        means = {n: get_cycle(n).stats().mean_speed_kmh for n in available_cycles()}
+        assert means["nycc"] == min(means.values())
+
+    def test_udds_has_many_stops(self):
+        assert get_cycle("udds").stats().stop_count >= 10
+
+    def test_all_sampled_at_one_hz(self):
+        for name in available_cycles():
+            assert get_cycle(name).dt == 1.0

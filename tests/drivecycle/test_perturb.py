@@ -1,0 +1,90 @@
+"""Traffic-variation ensemble tests."""
+
+import numpy as np
+import pytest
+
+from repro.drivecycle.cycle import DriveCycle
+from repro.drivecycle.library import get_cycle
+from repro.drivecycle.perturb import ensemble, perturbed
+
+
+@pytest.fixture(scope="module")
+def base():
+    return get_cycle("udds")
+
+
+class TestPerturbed:
+    def test_deterministic_per_seed(self, base):
+        a = perturbed(base, 3)
+        b = perturbed(base, 3)
+        assert np.array_equal(a.speed_mps, b.speed_mps)
+
+    def test_different_seeds_differ(self, base):
+        a = perturbed(base, 0)
+        b = perturbed(base, 1)
+        min_len = min(len(a), len(b))
+        assert not np.array_equal(a.speed_mps[:min_len], b.speed_mps[:min_len])
+
+    def test_name_tagged(self, base):
+        assert perturbed(base, 7).name == "UDDS~7"
+
+    def test_invariants_preserved(self, base):
+        for seed in range(5):
+            var = perturbed(base, seed)
+            assert isinstance(var, DriveCycle)
+            assert np.all(var.speed_mps >= 0.0)
+            assert var.speed_mps[0] == 0.0
+            assert var.speed_mps[-1] == 0.0
+
+    def test_acceleration_capped(self, base):
+        var = perturbed(base, 2, max_accel_ms2=4.0)
+        steps = np.abs(np.diff(var.speed_mps))
+        assert np.max(steps) <= 4.0 * var.dt + 1e-9
+
+    def test_gross_statistics_close_to_base(self, base):
+        base_stats = base.stats()
+        for seed in range(4):
+            var_stats = perturbed(base, seed).stats()
+            assert var_stats.distance_km == pytest.approx(
+                base_stats.distance_km, rel=0.20
+            )
+            assert var_stats.duration_s == pytest.approx(
+                base_stats.duration_s, rel=0.15
+            )
+
+    def test_zero_sigmas_still_valid(self, base):
+        var = perturbed(
+            base, 0, speed_scale_sigma=0.0, stop_jitter_s=0.0, ripple_sigma_mps=0.0
+        )
+        # stop jitter off, scale off, ripple off -> essentially the base;
+        # only crawl samples below the stop threshold (0.3 m/s) may be
+        # snapped to zero by the stop-segment rebuild
+        assert len(var) == len(base)
+        assert np.allclose(var.speed_mps, base.speed_mps, atol=0.35)
+
+    def test_rejects_bad_sigma(self, base):
+        with pytest.raises(ValueError):
+            perturbed(base, 0, speed_scale_sigma=0.9)
+
+    def test_powertrain_accepts_variants(self, base):
+        from repro.vehicle.powertrain import Powertrain
+
+        pr = Powertrain().power_request(perturbed(base, 1))
+        assert np.all(np.isfinite(pr.power_w))
+
+
+class TestEnsemble:
+    def test_member_count(self, base):
+        members = ensemble(base, 4)
+        assert len(members) == 4
+        assert members[0].name.endswith("~0")
+
+    def test_rejects_zero_members(self, base):
+        with pytest.raises(ValueError):
+            ensemble(base, 0)
+
+    def test_members_distinct(self, base):
+        members = ensemble(base, 3)
+        lengths = {len(m) for m in members}
+        speeds = {float(np.sum(m.speed_mps)) for m in members}
+        assert len(speeds) == 3 or len(lengths) > 1

@@ -1,0 +1,99 @@
+"""Segment-synthesis tests."""
+
+import numpy as np
+import pytest
+
+from repro.drivecycle.synth import SegmentSpec, accel, cruise, decel, idle, synthesize
+from repro.utils.units import kmh_to_mps
+
+
+class TestSegmentSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SegmentSpec("warp", duration_s=10)
+
+    def test_idle_needs_duration(self):
+        with pytest.raises(ValueError):
+            SegmentSpec("idle", duration_s=0)
+
+    def test_ramp_needs_rate(self):
+        with pytest.raises(ValueError):
+            SegmentSpec("accel", target_kmh=50, rate_ms2=0)
+
+    def test_rejects_negative_target(self):
+        with pytest.raises(ValueError):
+            SegmentSpec("accel", target_kmh=-5, rate_ms2=1)
+
+    def test_builders(self):
+        assert idle(5).kind == "idle"
+        assert accel(50, 1.0).kind == "accel"
+        assert decel(0, 1.0).kind == "decel"
+        assert cruise(10).kind == "cruise"
+
+
+class TestSynthesize:
+    def test_starts_at_zero(self):
+        cycle = synthesize("t", [idle(5)])
+        assert cycle.speed_mps[0] == 0.0
+
+    def test_idle_duration(self):
+        cycle = synthesize("t", [idle(10)])
+        assert cycle.duration_s == pytest.approx(10.0)
+        assert np.all(cycle.speed_mps == 0.0)
+
+    def test_accel_reaches_target(self):
+        cycle = synthesize("t", [accel(36, 1.0)])
+        assert cycle.speed_mps[-1] == pytest.approx(10.0)
+
+    def test_accel_respects_rate(self):
+        cycle = synthesize("t", [accel(36, 1.0)])
+        # 10 m/s at 1 m/s^2 -> 10 seconds of ramp
+        assert cycle.duration_s == pytest.approx(10.0)
+
+    def test_decel_to_zero(self):
+        cycle = synthesize("t", [accel(36, 2.0), decel(0, 2.0)])
+        assert cycle.speed_mps[-1] == pytest.approx(0.0)
+
+    def test_cruise_holds_speed(self):
+        cycle = synthesize("t", [accel(36, 2.0), cruise(10)])
+        assert np.allclose(cycle.speed_mps[-5:], 10.0)
+
+    def test_cruise_ripple_bounded(self):
+        cycle = synthesize("t", [accel(36, 2.0), cruise(60, ripple_kmh=3.6)])
+        hold = cycle.speed_mps[6:]
+        assert hold.max() <= 11.0 + 1e-9
+        assert hold.min() >= 9.0 - 1e-9
+
+    def test_cruise_ends_on_base_speed(self):
+        cycle = synthesize(
+            "t", [accel(36, 2.0), cruise(30, ripple_kmh=5), decel(0, 2.0)]
+        )
+        assert cycle.speed_mps[-1] == pytest.approx(0.0)
+
+    def test_accel_below_current_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize("t", [accel(50, 1.0), accel(20, 1.0)])
+
+    def test_decel_above_current_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize("t", [decel(20, 1.0)])
+
+    def test_idle_at_speed_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize("t", [accel(50, 1.0), idle(5)])
+
+    def test_deterministic(self):
+        prog = [accel(60, 1.5), cruise(30, ripple_kmh=4), decel(0, 1.5), idle(5)]
+        a = synthesize("a", prog)
+        b = synthesize("b", prog)
+        assert np.array_equal(a.speed_mps, b.speed_mps)
+
+    def test_distance_of_triangle_profile(self):
+        # accel to 10 m/s at 1 m/s^2 then back down: distance = v^2/a = 100 m
+        cycle = synthesize("t", [accel(36, 1.0), decel(0, 1.0)])
+        assert cycle.distance_m() == pytest.approx(100.0, rel=0.06)
+
+    def test_finer_dt(self):
+        cycle = synthesize("t", [accel(36, 1.0)], dt=0.5)
+        assert cycle.dt == 0.5
+        assert cycle.speed_mps[-1] == pytest.approx(kmh_to_mps(36))

@@ -1,0 +1,111 @@
+"""Hybrid (converter-decoupled) architecture tests."""
+
+import pytest
+
+from repro.battery.pack import BatteryPack
+from repro.hees.hybrid import HybridHEES
+from repro.ultracap.bank import UltracapBank
+from repro.ultracap.params import UltracapParams
+
+
+@pytest.fixture()
+def plant():
+    return HybridHEES(BatteryPack(), UltracapBank(UltracapParams()))
+
+
+class TestSplit:
+    def test_zero_cap_command_battery_carries_all(self, plant):
+        result = plant.step(30_000.0, 0.0, 1.0)
+        assert result.ultracap_power_w == 0.0
+        assert result.delivered_power_w == pytest.approx(30_000.0, rel=0.01)
+
+    def test_cap_command_offloads_battery(self, plant):
+        with_cap = plant.step(30_000.0, 20_000.0, 1.0)
+        assert with_cap.notes["cap_bus_w"] == pytest.approx(20_000.0, rel=0.01)
+        assert with_cap.notes["battery_bus_w"] == pytest.approx(10_000.0, rel=0.01)
+
+    def test_full_cap_command(self, plant):
+        result = plant.step(30_000.0, 30_000.0, 1.0)
+        assert abs(result.battery_power_w) < 1_000.0
+
+    def test_cap_charging_adds_battery_load(self, plant):
+        plant.bank.reset(50.0)
+        result = plant.step(10_000.0, -5_000.0, 1.0)
+        assert result.notes["battery_bus_w"] == pytest.approx(15_000.0, rel=0.01)
+        assert result.ultracap_power_w < 0
+
+    def test_converter_losses_tracked(self, plant):
+        result = plant.step(30_000.0, 20_000.0, 1.0)
+        assert result.converter_loss_j > 0
+
+    def test_command_clipped_to_bank_limits(self, plant):
+        result = plant.step(10_000.0, 1e6, 1.0)
+        lo, hi = plant.cap_bus_limits(1.0)
+        # small slack: the limit is evaluated at pre-step voltage, the
+        # realized bus power at the (slightly sagged) in-step voltage
+        assert result.notes["cap_bus_w"] <= hi + 100.0
+
+
+class TestLoadPriority:
+    def test_charge_command_never_starves_load(self, plant):
+        # ask for a huge charge while the load is near the battery limit
+        heavy_load = 0.9 * plant.pack.max_discharge_power_w()
+        result = plant.step(heavy_load, -60_000.0, 1.0)
+        assert result.unmet_power_w < 100.0
+
+    def test_charge_allowed_when_headroom_exists(self, plant):
+        plant.bank.reset(50.0)
+        result = plant.step(5_000.0, -10_000.0, 1.0)
+        assert result.ultracap_power_w < -8_000.0
+
+
+class TestEmergencyReserve:
+    def test_reserve_covers_peak_with_empty_bank(self):
+        plant = HybridHEES(
+            BatteryPack(),
+            UltracapBank(UltracapParams(), initial_soe_percent=20.0),
+        )
+        peak = plant.pack.max_discharge_power_w() * 0.97 + 20_000.0
+        result = plant.step(peak, 0.0, 1.0)
+        assert result.unmet_power_w < 500.0
+        assert plant.bank.soe_percent < 20.0
+
+    def test_reserve_not_tapped_when_battery_suffices(self, plant):
+        plant.bank.reset(20.0)
+        plant.step(10_000.0, 0.0, 1.0)
+        assert plant.bank.soe_percent == pytest.approx(20.0)
+
+
+class TestRegen:
+    def test_regen_to_battery_by_default(self, plant):
+        plant.pack.state.soc_percent = 80.0
+        result = plant.step(-20_000.0, 0.0, 1.0)
+        assert result.battery_power_w < 0
+
+    def test_regen_routed_to_cap_on_command(self, plant):
+        plant.bank.reset(50.0)
+        result = plant.step(-20_000.0, -20_000.0, 1.0)
+        assert result.ultracap_power_w < 0
+        assert abs(result.battery_power_w) < 1_500.0
+
+
+class TestCapBusLimits:
+    def test_limits_shapes(self, plant):
+        lo, hi = plant.cap_bus_limits(1.0)
+        assert lo <= 0 <= hi
+
+    def test_full_bank_cannot_charge(self, plant):
+        lo, _ = plant.cap_bus_limits(1.0)
+        assert lo == pytest.approx(0.0)
+
+    def test_empty_bank_cannot_discharge(self):
+        plant = HybridHEES(
+            BatteryPack(),
+            UltracapBank(UltracapParams(), initial_soe_percent=20.0),
+        )
+        _, hi = plant.cap_bus_limits(1.0)
+        assert hi == pytest.approx(0.0)
+
+    def test_rejects_nonpositive_dt(self, plant):
+        with pytest.raises(ValueError):
+            plant.step(1_000.0, 0.0, 0.0)

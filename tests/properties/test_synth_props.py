@@ -1,0 +1,64 @@
+"""Property-based tests for drive-cycle synthesis and powertrain coupling."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.drivecycle.synth import accel, cruise, decel, idle, synthesize
+from repro.vehicle.powertrain import Powertrain
+
+peak_kmh = st.floats(min_value=5.0, max_value=130.0)
+rate = st.floats(min_value=0.3, max_value=3.5)
+hold = st.floats(min_value=1.0, max_value=120.0)
+wait = st.floats(min_value=1.0, max_value=60.0)
+
+
+def hill(peak, a, h, w):
+    return [accel(peak, a), cruise(h), decel(0, a), idle(w)]
+
+
+class TestSynthesisInvariants:
+    @given(peak_kmh, rate, hold, wait)
+    def test_speed_never_negative(self, peak, a, h, w):
+        cycle = synthesize("t", hill(peak, a, h, w))
+        assert np.all(cycle.speed_mps >= 0.0)
+
+    @given(peak_kmh, rate, hold, wait)
+    def test_peak_respected(self, peak, a, h, w):
+        cycle = synthesize("t", hill(peak, a, h, w))
+        assert cycle.stats().max_speed_kmh <= peak + 1e-6
+
+    @given(peak_kmh, rate, hold, wait)
+    def test_acceleration_bounded_by_rate(self, peak, a, h, w):
+        cycle = synthesize("t", hill(peak, a, h, w))
+        accel_trace = np.diff(cycle.speed_mps)  # forward difference, dt = 1
+        assert np.max(np.abs(accel_trace)) <= a + 1e-6
+
+    @given(peak_kmh, rate, hold, wait)
+    def test_ends_stopped(self, peak, a, h, w):
+        cycle = synthesize("t", hill(peak, a, h, w))
+        assert cycle.speed_mps[-1] == 0.0
+
+    @given(peak_kmh, rate, hold, wait)
+    def test_distance_positive_and_consistent(self, peak, a, h, w):
+        cycle = synthesize("t", hill(peak, a, h, w))
+        upper = cycle.stats().max_speed_kmh / 3.6 * cycle.duration_s
+        assert 0.0 < cycle.distance_m() <= upper + 1e-6
+
+
+class TestPowertrainCoupling:
+    @given(peak_kmh, rate, hold, wait)
+    def test_request_finite_and_bounded(self, peak, a, h, w):
+        cycle = synthesize("t", hill(peak, a, h, w))
+        pt = Powertrain()
+        pr = pt.power_request(cycle)
+        assert np.all(np.isfinite(pr.power_w))
+        assert pr.peak_power_w() <= pt.params.max_motor_power_w + pt.params.auxiliary_power_w
+        assert pr.power_w.min() >= -pt.params.max_regen_power_w
+
+    @given(peak_kmh, rate, hold, wait)
+    def test_net_energy_positive(self, peak, a, h, w):
+        """Driving a closed hill always costs net energy (no perpetual motion)."""
+        cycle = synthesize("t", hill(peak, a, h, w))
+        pr = Powertrain().power_request(cycle)
+        assert pr.energy_j() > 0.0

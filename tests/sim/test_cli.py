@@ -1,0 +1,72 @@
+"""CLI tests (fast paths only; heavy commands run on the shortest cycle)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_methodology(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "-m", "magic"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.methodology == "otem"
+        assert args.cycle == "us06"
+        assert args.repeat == 1
+
+
+class TestCycles:
+    def test_lists_all_cycles(self):
+        code, text = run_cli(["cycles"])
+        assert code == 0
+        for name in ("us06", "udds", "hwfet", "nycc", "la92"):
+            assert name in text
+
+    def test_has_stats_columns(self):
+        _, text = run_cli(["cycles"])
+        assert "dist [km]" in text
+        assert "stops" in text
+
+
+class TestRun:
+    def test_run_baseline_on_short_cycle(self):
+        code, text = run_cli(["run", "-m", "dual", "-c", "nycc"])
+        assert code == 0
+        assert "capacity loss" in text
+        assert "Dual [16]" in text
+
+    def test_run_reports_blt(self):
+        _, text = run_cli(["run", "-m", "parallel", "-c", "nycc"])
+        assert "routes to end-of-life" in text
+
+    def test_initial_temperature_flag(self):
+        code, text = run_cli(
+            ["run", "-m", "parallel", "-c", "nycc", "--initial-temp-c", "35"]
+        )
+        assert code == 0
+        assert "peak temp" in text
+
+
+class TestExport:
+    def test_export_writes_csv(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        code, text = run_cli(["export", "-m", "parallel", "-c", "nycc", str(path)])
+        assert code == 0
+        assert path.exists()
+        header = path.read_text().splitlines()[0]
+        assert "battery_temp_k" in header
+        assert "wrote" in text

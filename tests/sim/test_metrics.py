@@ -1,0 +1,84 @@
+"""Summary-metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import SAFE_TEMP_MAX_K, compute_metrics
+from repro.sim.trace import CHANNELS, Trace
+
+
+def make_trace(n=10, dt=1.0, **overrides):
+    arrays = {name: np.zeros(n) for name in CHANNELS}
+    arrays["time_s"] = np.arange(n) * dt
+    arrays["battery_temp_k"] = np.full(n, 298.0)
+    arrays["battery_soc_percent"] = np.full(n, 90.0)
+    arrays["cap_soe_percent"] = np.full(n, 80.0)
+    for key, val in overrides.items():
+        arrays[key] = np.asarray(val, dtype=float)
+    return Trace(**arrays)
+
+
+class TestQloss:
+    def test_sums_increments(self):
+        trace = make_trace(loss_increment_percent=np.full(10, 0.001))
+        assert compute_metrics(trace).qloss_percent == pytest.approx(0.01)
+
+    def test_blt_routes(self):
+        trace = make_trace(loss_increment_percent=np.full(10, 0.001))
+        assert compute_metrics(trace).blt_routes == pytest.approx(20.0 / 0.01)
+
+
+class TestEnergy:
+    def test_hees_energy_sums_both_stores(self):
+        trace = make_trace(
+            chem_energy_j=np.full(10, 100.0), cap_energy_j=np.full(10, 50.0)
+        )
+        assert compute_metrics(trace).hees_energy_j == pytest.approx(1_500.0)
+
+    def test_average_power(self):
+        trace = make_trace(chem_energy_j=np.full(10, 1_000.0))
+        m = compute_metrics(trace)
+        assert m.average_power_w == pytest.approx(10_000.0 / m.duration_s)
+
+    def test_cooling_energy(self):
+        trace = make_trace(cooling_power_w=np.full(10, 200.0))
+        assert compute_metrics(trace).cooling_energy_j == pytest.approx(2_000.0)
+
+    def test_converter_loss(self):
+        trace = make_trace(converter_loss_j=np.full(10, 5.0))
+        assert compute_metrics(trace).converter_loss_j == pytest.approx(50.0)
+
+    def test_unmet_energy(self):
+        trace = make_trace(unmet_w=np.concatenate([np.zeros(5), np.full(5, 100.0)]))
+        assert compute_metrics(trace).unmet_energy_j == pytest.approx(500.0)
+
+
+class TestThermalSafety:
+    def test_peak_temp(self):
+        temps = np.full(10, 298.0)
+        temps[4] = 320.0
+        trace = make_trace(battery_temp_k=temps)
+        assert compute_metrics(trace).peak_temp_k == 320.0
+
+    def test_time_above_safe(self):
+        temps = np.full(10, 298.0)
+        temps[3:6] = SAFE_TEMP_MAX_K + 1.0
+        trace = make_trace(battery_temp_k=temps)
+        assert compute_metrics(trace).time_above_safe_s == pytest.approx(3.0)
+
+    def test_custom_threshold(self):
+        temps = np.full(10, 305.0)
+        trace = make_trace(battery_temp_k=temps)
+        assert compute_metrics(trace, safe_temp_k=300.0).time_above_safe_s == 10.0
+
+
+class TestDepletion:
+    def test_min_soc(self):
+        socs = np.linspace(100, 40, 10)
+        trace = make_trace(battery_soc_percent=socs)
+        assert compute_metrics(trace).min_soc_percent == pytest.approx(40.0)
+
+    def test_min_soe(self):
+        soes = np.linspace(100, 25, 10)
+        trace = make_trace(cap_soe_percent=soes)
+        assert compute_metrics(trace).min_soe_percent == pytest.approx(25.0)

@@ -1,0 +1,76 @@
+"""Scenario wrapper tests."""
+
+import pytest
+
+from repro.controllers.base import Architecture
+from repro.core.otem import OTEMController
+from repro.sim.scenario import METHODOLOGIES, Scenario, build_controller, run_scenario
+
+
+class TestScenario:
+    def test_default_is_otem_us06(self):
+        s = Scenario()
+        assert s.methodology == "otem"
+        assert s.cycle == "us06"
+
+    def test_rejects_unknown_methodology(self):
+        with pytest.raises(ValueError, match="unknown methodology"):
+            Scenario(methodology="magic")
+
+    def test_rejects_zero_repeat(self):
+        with pytest.raises(ValueError):
+            Scenario(repeat=0)
+
+    def test_with_methodology(self):
+        s = Scenario().with_methodology("dual")
+        assert s.methodology == "dual"
+        assert s.cycle == "us06"
+
+    def test_with_ucap(self):
+        s = Scenario().with_ucap(5_000.0)
+        assert s.ucap_farads == 5_000.0
+
+    def test_cap_params_resistance_scaled(self):
+        small = Scenario(ucap_farads=5_000.0).cap_params()
+        large = Scenario(ucap_farads=25_000.0).cap_params()
+        assert small.internal_resistance_ohm > large.internal_resistance_ohm
+
+
+class TestBuildController:
+    @pytest.mark.parametrize(
+        "name,arch",
+        [
+            ("parallel", Architecture.PARALLEL),
+            ("cooling", Architecture.BATTERY_ONLY),
+            ("dual", Architecture.DUAL),
+            ("otem", Architecture.HYBRID),
+            ("heuristic", Architecture.HYBRID),
+        ],
+    )
+    def test_architecture_mapping(self, name, arch):
+        controller = build_controller(Scenario(methodology=name))
+        assert controller.architecture is arch
+
+    def test_all_methodologies_buildable(self):
+        for name in METHODOLOGIES:
+            assert build_controller(Scenario(methodology=name)) is not None
+
+    def test_otem_gets_scenario_bank(self):
+        controller = build_controller(Scenario(methodology="otem", ucap_farads=5_000))
+        assert isinstance(controller, OTEMController)
+        assert controller._cap_params.capacitance_f == 5_000
+
+
+class TestRunScenario:
+    @pytest.mark.parametrize("name", ["parallel", "cooling", "dual", "heuristic"])
+    def test_baselines_run(self, name):
+        result = run_scenario(Scenario(methodology=name, cycle="nycc"))
+        assert result.qloss_percent > 0
+        assert result.metrics.duration_s > 500
+
+    def test_otem_runs(self):
+        result = run_scenario(
+            Scenario(methodology="otem", cycle="nycc", mpc_max_evals=40)
+        )
+        assert result.controller_name == "OTEM"
+        assert result.metrics.unmet_energy_j < 1e5

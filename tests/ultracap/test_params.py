@@ -1,0 +1,73 @@
+"""Ultracapacitor parameter tests (Eq. 6)."""
+
+import pytest
+
+from repro.ultracap.params import (
+    REFERENCE_CAPACITANCE_F,
+    UltracapParams,
+    bank_of_farads,
+)
+
+
+class TestEnergyCapacity:
+    def test_eq6(self):
+        p = UltracapParams(capacitance_f=25_000.0, rated_voltage_v=16.2)
+        assert p.energy_capacity_j == pytest.approx(0.5 * 25_000 * 16.2**2)
+
+    def test_default_bank_stores_under_1kwh(self):
+        p = UltracapParams()
+        assert 2.0e6 <= p.energy_capacity_j <= 4.0e6
+
+    def test_usable_energy_is_c5_window(self):
+        p = UltracapParams()
+        assert p.usable_energy_j == pytest.approx(0.8 * p.energy_capacity_j)
+
+
+class TestValidation:
+    def test_rejects_zero_capacitance(self):
+        with pytest.raises(ValueError):
+            UltracapParams(capacitance_f=0.0)
+
+    def test_rejects_inverted_soe_window(self):
+        with pytest.raises(ValueError):
+            UltracapParams(soe_min_percent=80.0, soe_max_percent=50.0)
+
+    def test_rejects_hard_floor_above_soft_floor(self):
+        with pytest.raises(ValueError):
+            UltracapParams(soe_min_percent=20.0, soe_hard_min_percent=30.0)
+
+    def test_rejects_zero_power(self):
+        with pytest.raises(ValueError):
+            UltracapParams(max_power_w=0.0)
+
+
+class TestBankOfFarads:
+    @pytest.mark.parametrize("size", [5_000.0, 10_000.0, 20_000.0, 25_000.0])
+    def test_paper_sweep_sizes(self, size):
+        p = bank_of_farads(size)
+        assert p.capacitance_f == size
+
+    def test_energy_scales_linearly(self):
+        assert bank_of_farads(10_000).energy_capacity_j == pytest.approx(
+            2 * bank_of_farads(5_000).energy_capacity_j
+        )
+
+    def test_resistance_scales_inversely(self):
+        small = bank_of_farads(5_000)
+        large = bank_of_farads(25_000)
+        assert small.internal_resistance_ohm == pytest.approx(
+            5 * large.internal_resistance_ohm
+        )
+
+    def test_reference_size_keeps_module_resistance(self):
+        assert bank_of_farads(
+            REFERENCE_CAPACITANCE_F
+        ).internal_resistance_ohm == pytest.approx(2.2e-3)
+
+    def test_explicit_resistance_override(self):
+        p = bank_of_farads(5_000, internal_resistance_ohm=1e-3)
+        assert p.internal_resistance_ohm == 1e-3
+
+    def test_other_overrides(self):
+        p = bank_of_farads(5_000, max_power_w=10_000.0)
+        assert p.max_power_w == 10_000.0

@@ -1,0 +1,106 @@
+"""Integration-helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.utils.integrate import (
+    cumulative_trapezoid,
+    euler_step,
+    rk4_step,
+    trapezoid,
+)
+
+
+class TestEulerStep:
+    def test_constant_rhs(self):
+        assert euler_step(lambda t, y: 2.0, 1.0, 0.0, 0.5) == pytest.approx(2.0)
+
+    def test_zero_rhs(self):
+        assert euler_step(lambda t, y: 0.0, 3.0, 0.0, 1.0) == pytest.approx(3.0)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            euler_step(lambda t, y: 0.0, 0.0, 0.0, 0.0)
+
+    def test_vector_state(self):
+        y = np.array([1.0, 2.0])
+        out = euler_step(lambda t, y: -y, y, 0.0, 0.1)
+        assert np.allclose(out, [0.9, 1.8])
+
+
+class TestRK4Step:
+    def test_exponential_decay_accuracy(self):
+        # dy/dt = -y over one big step h=1: RK4 truncates the Taylor series
+        # at h^4/24, giving 0.375 vs e^-1 ~ 0.3679 (error ~ 7e-3)
+        y1 = rk4_step(lambda t, y: -y, 1.0, 0.0, 1.0)
+        assert y1 == pytest.approx(np.exp(-1.0), abs=1e-2)
+
+    def test_exponential_decay_small_steps(self):
+        y = 1.0
+        for k in range(10):
+            y = rk4_step(lambda t, y: -y, y, k * 0.1, 0.1)
+        assert y == pytest.approx(np.exp(-1.0), abs=1e-5)
+
+    def test_beats_euler(self):
+        exact = np.exp(-1.0)
+        e = euler_step(lambda t, y: -y, 1.0, 0.0, 1.0)
+        r = rk4_step(lambda t, y: -y, 1.0, 0.0, 1.0)
+        assert abs(r - exact) < abs(e - exact)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            rk4_step(lambda t, y: 0.0, 0.0, 0.0, -1.0)
+
+    def test_time_dependent_rhs(self):
+        # dy/dt = t -> y(1) = 0.5 exactly (RK4 is exact for polynomials <= 3)
+        assert rk4_step(lambda t, y: t, 0.0, 0.0, 1.0) == pytest.approx(0.5)
+
+
+class TestTrapezoid:
+    def test_constant(self):
+        assert trapezoid([2.0, 2.0, 2.0], dt=1.0) == pytest.approx(4.0)
+
+    def test_linear(self):
+        assert trapezoid([0.0, 1.0, 2.0], dt=1.0) == pytest.approx(2.0)
+
+    def test_with_times(self):
+        assert trapezoid([0.0, 2.0], times=[0.0, 4.0]) == pytest.approx(4.0)
+
+    def test_requires_exactly_one_grid(self):
+        with pytest.raises(ValueError):
+            trapezoid([1.0, 2.0])
+        with pytest.raises(ValueError):
+            trapezoid([1.0, 2.0], dt=1.0, times=[0.0, 1.0])
+
+    def test_single_sample_is_zero(self):
+        assert trapezoid([5.0], dt=1.0) == 0.0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            trapezoid(np.ones((2, 2)), dt=1.0)
+
+    def test_mismatched_times(self):
+        with pytest.raises(ValueError):
+            trapezoid([1.0, 2.0], times=[0.0, 1.0, 2.0])
+
+
+class TestCumulativeTrapezoid:
+    def test_leading_zero(self):
+        out = cumulative_trapezoid([1.0, 1.0, 1.0], dt=2.0)
+        assert out[0] == 0.0
+
+    def test_matches_trapezoid_total(self):
+        vals = np.sin(np.linspace(0, 3, 50))
+        out = cumulative_trapezoid(vals, dt=0.1)
+        assert out[-1] == pytest.approx(trapezoid(vals, dt=0.1))
+
+    def test_monotone_for_positive(self):
+        out = cumulative_trapezoid([1.0, 2.0, 3.0, 4.0], dt=1.0)
+        assert np.all(np.diff(out) > 0)
+
+    def test_empty(self):
+        assert cumulative_trapezoid([], dt=1.0).size == 0
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            cumulative_trapezoid([1.0, 2.0], dt=0.0)

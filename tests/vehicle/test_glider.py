@@ -1,0 +1,86 @@
+"""Road-load model tests."""
+
+import numpy as np
+import pytest
+
+from repro.vehicle.glider import GRAVITY, Glider
+from repro.vehicle.params import MODEL_S_LIKE, VehicleParams
+
+
+@pytest.fixture()
+def glider():
+    return Glider(MODEL_S_LIKE)
+
+
+class TestRollingForce:
+    def test_zero_at_standstill(self, glider):
+        assert glider.rolling_force(0.0) == 0.0
+
+    def test_constant_when_moving(self, glider):
+        f1 = glider.rolling_force(5.0)
+        f2 = glider.rolling_force(30.0)
+        assert f1 == pytest.approx(f2)
+
+    def test_magnitude(self, glider):
+        expected = 0.009 * 2100.0 * GRAVITY
+        assert glider.rolling_force(10.0) == pytest.approx(expected)
+
+    def test_grade_reduces_normal_force(self, glider):
+        flat = glider.rolling_force(10.0, grade_rad=0.0)
+        hill = glider.rolling_force(10.0, grade_rad=0.1)
+        assert hill < flat
+
+
+class TestAeroForce:
+    def test_zero_at_standstill(self, glider):
+        assert glider.aero_force(0.0) == 0.0
+
+    def test_quadratic_in_speed(self, glider):
+        assert glider.aero_force(20.0) == pytest.approx(4 * glider.aero_force(10.0))
+
+    def test_magnitude_at_highway_speed(self, glider):
+        # 0.5 * 1.2 * 0.24 * 2.34 * 30^2 ~ 303 N
+        assert glider.aero_force(30.0) == pytest.approx(303.3, rel=0.01)
+
+
+class TestGradeForce:
+    def test_zero_on_flat(self, glider):
+        assert glider.grade_force(0.0) == pytest.approx(0.0)
+
+    def test_positive_uphill(self, glider):
+        assert glider.grade_force(0.05) > 0
+
+    def test_negative_downhill(self, glider):
+        assert glider.grade_force(-0.05) < 0
+
+
+class TestInertiaForce:
+    def test_includes_rotating_mass_factor(self, glider):
+        assert glider.inertia_force(1.0) == pytest.approx(1.05 * 2100.0)
+
+    def test_negative_while_braking(self, glider):
+        assert glider.inertia_force(-2.0) < 0
+
+
+class TestWheelPower:
+    def test_zero_at_standstill(self, glider):
+        assert glider.wheel_power(0.0, 0.0) == 0.0
+
+    def test_negative_under_hard_braking(self, glider):
+        assert glider.wheel_power(20.0, -3.0) < 0
+
+    def test_positive_cruising(self, glider):
+        assert glider.wheel_power(30.0, 0.0) > 0
+
+    def test_vectorized(self, glider):
+        speeds = np.array([0.0, 10.0, 20.0])
+        accels = np.zeros(3)
+        out = glider.wheel_power(speeds, accels)
+        assert out.shape == (3,)
+        assert out[0] == 0.0
+        assert out[2] > out[1]
+
+    def test_heavier_vehicle_needs_more_power(self):
+        light = Glider(MODEL_S_LIKE)
+        heavy = Glider(VehicleParams(mass_kg=3000.0))
+        assert heavy.wheel_power(20.0, 1.0) > light.wheel_power(20.0, 1.0)

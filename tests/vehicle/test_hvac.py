@@ -1,0 +1,99 @@
+"""Cabin HVAC load model tests."""
+
+import numpy as np
+import pytest
+
+from repro.drivecycle.library import get_cycle
+from repro.vehicle.hvac import CabinParams, hvac_load_profile
+from repro.vehicle.powertrain import Powertrain
+
+
+class TestCabinParams:
+    def test_defaults_valid(self):
+        CabinParams()
+
+    def test_rejects_bad_cop(self):
+        with pytest.raises(ValueError):
+            CabinParams(cooling_cop=0.0)
+
+    def test_rejects_negative_solar(self):
+        with pytest.raises(ValueError):
+            CabinParams(solar_gain_w=-10.0)
+
+
+class TestHotDay:
+    @pytest.fixture(scope="class")
+    def load(self):
+        # 38 C ambient, soaked car
+        return hvac_load_profile(1200.0, 311.15)
+
+    def test_length(self, load):
+        assert load.size == 1201
+
+    def test_pull_down_phase_runs_hard(self, load):
+        p = CabinParams()
+        assert np.max(load[:60]) == pytest.approx(
+            p.max_thermal_power_w / p.cooling_cop
+        )
+
+    def test_steady_phase_below_pull_down(self, load):
+        assert np.mean(load[-300:]) < np.mean(load[:120])
+
+    def test_steady_load_balances_ingress(self, load):
+        # at steady state the HVAC removes shell ingress + solar
+        p = CabinParams()
+        ingress = (
+            p.shell_conductance_w_per_k * (311.15 - p.setpoint_k) + p.solar_gain_w
+        )
+        steady_electrical = np.mean(load[-300:])
+        assert steady_electrical == pytest.approx(ingress / p.cooling_cop, rel=0.3)
+
+    def test_nonnegative(self, load):
+        assert np.all(load >= 0.0)
+
+
+class TestColdDay:
+    def test_heating_uses_ptc_cop(self):
+        # -5 C ambient: heating at COP 1 is pricier than cooling at COP 2.2
+        hot = hvac_load_profile(900.0, 309.15)
+        cold = hvac_load_profile(900.0, 268.15)
+        assert np.mean(cold[-300:]) > np.mean(hot[-300:])
+
+    def test_no_solar_at_cold(self):
+        p = CabinParams()
+        cold = hvac_load_profile(1800.0, 268.15)
+        ingress = p.shell_conductance_w_per_k * (p.setpoint_k - 268.15)
+        assert np.mean(cold[-300:]) == pytest.approx(ingress / p.heating_cop, rel=0.3)
+
+
+class TestMildDay:
+    def test_near_setpoint_nearly_free(self):
+        load = hvac_load_profile(900.0, 295.65, initial_cabin_temp_k=295.15)
+        assert np.mean(load) < 300.0
+
+
+class TestPowertrainIntegration:
+    def test_hvac_adds_to_request(self):
+        cycle = get_cycle("udds")
+        pt = Powertrain()
+        plain = pt.power_request(cycle)
+        load = hvac_load_profile(cycle.duration_s, 311.15, dt=cycle.dt)
+        with_hvac = pt.power_request(cycle, hvac_load_w=load)
+        assert with_hvac.mean_power_w() > plain.mean_power_w()
+        extra = with_hvac.power_w - plain.power_w
+        assert np.all(extra >= -1e-9)
+
+    def test_short_profile_zero_padded(self):
+        cycle = get_cycle("nycc")
+        pt = Powertrain()
+        load = np.full(10, 1_000.0)
+        pr = pt.power_request(cycle, hvac_load_w=load)
+        plain = pt.power_request(cycle)
+        assert pr.power_w[5] == pytest.approx(plain.power_w[5] + 1_000.0)
+        assert pr.power_w[50] == pytest.approx(plain.power_w[50])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hvac_load_profile(0.0, 300.0)
+        with pytest.raises(ValueError):
+            hvac_load_profile(100.0, 300.0, dt=0.0)

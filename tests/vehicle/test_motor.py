@@ -1,0 +1,72 @@
+"""Motor/inverter map tests."""
+
+import numpy as np
+import pytest
+
+from repro.vehicle.motor import MotorDrive
+from repro.vehicle.params import MODEL_S_LIKE
+
+
+@pytest.fixture()
+def motor():
+    return MotorDrive(MODEL_S_LIKE)
+
+
+class TestEfficiency:
+    def test_bounded(self, motor):
+        loads = np.linspace(0, MODEL_S_LIKE.max_motor_power_w, 100)
+        eta = motor.efficiency(loads)
+        assert np.all(eta >= 0.70)
+        assert np.all(eta <= 0.93)
+
+    def test_peak_near_configured_load(self, motor):
+        peak_power = 0.35 * MODEL_S_LIKE.max_motor_power_w
+        eta_peak = motor.efficiency(peak_power)
+        assert eta_peak > motor.efficiency(0.02 * MODEL_S_LIKE.max_motor_power_w)
+        assert eta_peak >= motor.efficiency(MODEL_S_LIKE.max_motor_power_w)
+
+    def test_poor_at_light_load(self, motor):
+        assert motor.efficiency(1_000.0) < 0.85
+
+    def test_symmetric_in_sign(self, motor):
+        assert motor.efficiency(-50_000.0) == pytest.approx(motor.efficiency(50_000.0))
+
+    def test_rejects_bad_eta(self):
+        with pytest.raises(ValueError):
+            MotorDrive(MODEL_S_LIKE, eta_peak=1.2)
+        with pytest.raises(ValueError):
+            MotorDrive(MODEL_S_LIKE, eta_min=0.99, eta_peak=0.93)
+
+
+class TestElectricalPower:
+    def test_driving_costs_more_than_mechanical(self, motor):
+        mech = 50_000.0
+        assert motor.electrical_power(mech) > mech
+
+    def test_regen_returns_less_than_mechanical(self, motor):
+        mech = -50_000.0
+        elec = motor.electrical_power(mech)
+        assert elec < 0
+        assert abs(elec) < abs(mech)
+
+    def test_regen_capped(self, motor):
+        elec = motor.electrical_power(-1e6)
+        assert elec == pytest.approx(-MODEL_S_LIKE.max_regen_power_w)
+
+    def test_drive_capped_at_motor_rating(self, motor):
+        elec = motor.electrical_power(1e7)
+        assert elec <= MODEL_S_LIKE.max_motor_power_w
+
+    def test_zero_power(self, motor):
+        assert motor.electrical_power(0.0) == pytest.approx(0.0)
+
+    def test_regen_fraction_applied(self, motor):
+        mech = -10_000.0
+        eta = float(motor.efficiency(mech))
+        expected = mech * eta * MODEL_S_LIKE.regen_fraction
+        assert motor.electrical_power(mech) == pytest.approx(expected)
+
+    def test_vectorized(self, motor):
+        out = motor.electrical_power(np.array([-20_000.0, 0.0, 20_000.0]))
+        assert out.shape == (3,)
+        assert out[0] < 0 < out[2]
