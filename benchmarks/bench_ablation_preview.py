@@ -13,7 +13,6 @@ from repro.core.otem import OTEMController
 from repro.core.teb import teb_preparation_score
 from repro.drivecycle.library import get_cycle
 from repro.sim.engine import Simulator
-from repro.sim.scenario import Scenario
 from repro.ultracap.params import UltracapParams
 from repro.vehicle.powertrain import Powertrain
 

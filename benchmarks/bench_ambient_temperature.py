@@ -12,22 +12,27 @@ physical couplings the models encode:
 * OTEM keeps the battery inside the safe zone at every start temperature.
 """
 
-from benchmarks.conftest import run_once
-from repro.sim.scenario import Scenario, run_scenario
+from benchmarks.conftest import BATCH_WORKERS, run_once
+from repro.sim.batch import ResultCache, run_batch, scenario_grid
+from repro.sim.scenario import Scenario
 from repro.utils.units import kelvin_to_celsius
 
 START_TEMPS_K = (278.15, 298.15, 310.15)  # 5 C, 25 C, 37 C
 
 
 def sweep():
-    out = {}
-    for t0 in START_TEMPS_K:
-        out[t0] = {
-            m: run_scenario(
-                Scenario(methodology=m, cycle="us06", repeat=1, initial_temp_k=t0)
-            )
-            for m in ("parallel", "otem")
-        }
+    """The (temperature x methodology) grid as one parallel cached batch."""
+    grid = scenario_grid(
+        Scenario(cycle="us06", repeat=1),
+        initial_temp_k=START_TEMPS_K,
+        methodology=("parallel", "otem"),
+    )
+    batch = run_batch(
+        grid, workers=BATCH_WORKERS, cache=ResultCache()
+    ).raise_on_failure()
+    out = {t0: {} for t0 in START_TEMPS_K}
+    for cell in batch.cells:
+        out[cell.scenario.initial_temp_k][cell.scenario.methodology] = cell.metrics
     return out
 
 
@@ -41,8 +46,8 @@ def test_ambient_temperature_sweep(benchmark):
         f"{'otem P [kW]':>12} {'otem Q [%]':>11} {'otem cool [kWh]':>16}"
     )
     for t0 in START_TEMPS_K:
-        par = results[t0]["parallel"].metrics
-        otem = results[t0]["otem"].metrics
+        par = results[t0]["parallel"]
+        otem = results[t0]["otem"]
         print(
             f"{kelvin_to_celsius(t0):>10.0f} {par.average_power_w / 1000:>11.2f} "
             f"{par.qloss_percent:>10.4f} {otem.average_power_w / 1000:>12.2f} "
@@ -52,13 +57,13 @@ def test_ambient_temperature_sweep(benchmark):
     cold, ref, hot = START_TEMPS_K
     # cold start: higher resistance -> the passive baseline burns more energy
     assert (
-        results[cold]["parallel"].metrics.hees_energy_j
-        > results[ref]["parallel"].metrics.hees_energy_j
+        results[cold]["parallel"].hees_energy_j
+        > results[ref]["parallel"].hees_energy_j
     )
     # hot start: OTEM pays more for cooling than at the reference
     assert (
-        results[hot]["otem"].metrics.cooling_energy_j
-        > results[ref]["otem"].metrics.cooling_energy_j * 0.9
+        results[hot]["otem"].cooling_energy_j
+        > results[ref]["otem"].cooling_energy_j * 0.9
     )
     # hot start ages the passive baseline hardest
     assert (
@@ -67,4 +72,4 @@ def test_ambient_temperature_sweep(benchmark):
     )
     # OTEM stays safe everywhere
     for t0 in START_TEMPS_K:
-        assert results[t0]["otem"].metrics.time_above_safe_s < 30.0
+        assert results[t0]["otem"].time_above_safe_s < 30.0

@@ -6,6 +6,11 @@ on shape).  Benchmarks run the real simulations once per measurement
 (``rounds=1``): the quantity of interest is the experiment output, the
 timing is a bonus.
 
+Every :func:`run_once` measurement is also appended to the perf-trajectory
+file ``BENCH_suite.json`` (via :mod:`repro.utils.perf`), so successive PRs
+leave comparable machine-readable wall-clock records next to the
+experiment outputs.  Set ``REPRO_BENCH_DIR`` to redirect the files.
+
 Scale: the paper's temperature analyses drive US06 five times; benches use
 the ``REPEAT_*`` constants below (3x for temperature figures, 1x for the
 5-cycle and size sweeps) to keep the whole suite within minutes.  The
@@ -14,6 +19,10 @@ records a full-scale run.
 """
 
 from __future__ import annotations
+
+import time
+
+from repro.utils.perf import record_timing
 
 #: Repetitions for the temperature-trace figures (paper: 5).
 REPEAT_THERMAL = 3
@@ -24,7 +33,19 @@ REPEAT_THERMAL = 3
 #: smallest scale where every paper ordering is established.
 REPEAT_SWEEP = 2
 
+#: Worker-process count for the batch-parallel sweeps (kept small so the
+#: fast-bench CI job fits a 2-core runner).
+BATCH_WORKERS = 2
+
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run ``fn`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The wall-clock of the measured call is recorded into
+    ``BENCH_suite.json`` under the function's name, building the repo's
+    perf trajectory as a side effect of running the bench suite.
+    """
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    record_timing("suite", fn.__name__, time.perf_counter() - start)
+    return result

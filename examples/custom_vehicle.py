@@ -7,7 +7,6 @@ baseline on it - the workflow a downstream user would follow for their own
 vehicle program.
 """
 
-from dataclasses import replace
 
 from repro import Scenario, run_scenario
 from repro.drivecycle.library import _CACHE, _BUILDERS  # registered below

@@ -17,7 +17,6 @@ import sys
 import numpy as np
 
 from repro.controllers.cooling_only import CoolingOnlyController
-from repro.hees.dual import DualMode
 from repro.sim.engine import Simulator
 from repro.utils.units import kelvin_to_celsius
 from repro.vehicle.powertrain import PowerRequest

@@ -8,57 +8,58 @@ comparison over a deterministic ensemble of traffic-perturbed variants
 capacity-loss ratio - checking that OTEM's win is not an artifact of one
 specific speed trace.
 
+The (member x methodology) ensemble is a plain scenario grid
+(``Scenario(perturb_seed=...)``) executed by :func:`repro.run_batch`, so
+it fans out over worker processes and caches per-member results.
+
 Usage::
 
-    python examples/monte_carlo_robustness.py [cycle] [members]
+    python examples/monte_carlo_robustness.py [cycle] [members] [workers]
 """
 
 import sys
 
 import numpy as np
 
-from repro.controllers.dual_threshold import DualThresholdController
-from repro.controllers.parallel_passive import ParallelPassiveController
-from repro.core.otem import OTEMController
-from repro.drivecycle.library import get_cycle
-from repro.drivecycle.perturb import ensemble
-from repro.sim.engine import Simulator
-from repro.ultracap.params import UltracapParams
-from repro.vehicle.powertrain import Powertrain
+from repro import Scenario, run_batch, scenario_grid
+from repro.sim.batch import ResultCache
 
-
-def run(controller_factory, request):
-    controller = controller_factory()
-    preview = (
-        controller.required_preview_steps(request.dt)
-        if isinstance(controller, OTEMController)
-        else 10
-    )
-    sim = Simulator(controller, cap_params=UltracapParams(), preview_steps=preview)
-    return sim.run(request)
+METHODS = ("parallel", "dual", "otem")
 
 
 def main():
-    cycle_name = sys.argv[1] if len(sys.argv) > 1 else "us06"
+    cycle = sys.argv[1] if len(sys.argv) > 1 else "us06"
     members = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else 0
 
-    base = get_cycle(cycle_name, repeat=2)
-    variants = ensemble(base, members)
-    pt = Powertrain()
+    grid = scenario_grid(
+        Scenario(cycle=cycle, repeat=2),
+        perturb_seed=range(members),
+        methodology=METHODS,
+    )
+    batch = run_batch(
+        grid, workers=workers, cache=ResultCache()
+    ).raise_on_failure()
 
-    print(f"Ensemble: {members} traffic variants of {base.name}")
+    qloss = {seed: {} for seed in range(members)}
+    for cell in batch.cells:
+        qloss[cell.scenario.perturb_seed][cell.scenario.methodology] = (
+            cell.metrics.qloss_percent
+        )
+
+    print(
+        f"Ensemble: {members} traffic variants of {cycle} "
+        f"({len(grid)} cells, {workers or 1} worker(s), "
+        f"{batch.cache_hits} cached, {batch.wall_s:.1f} s)"
+    )
     ratios_otem = []
     ratios_dual = []
-    for variant in variants:
-        request = pt.power_request(variant)
-        parallel = run(ParallelPassiveController, request)
-        dual = run(DualThresholdController, request)
-        otem = run(lambda: OTEMController(cap_params=UltracapParams()), request)
-        base_q = parallel.qloss_percent
-        ratios_otem.append(otem.qloss_percent / base_q)
-        ratios_dual.append(dual.qloss_percent / base_q)
+    for seed in range(members):
+        base_q = qloss[seed]["parallel"]
+        ratios_otem.append(qloss[seed]["otem"] / base_q)
+        ratios_dual.append(qloss[seed]["dual"] / base_q)
         print(
-            f"  {variant.name:>10}: parallel {base_q:.4f}%  "
+            f"  {cycle}~{seed:<3}: parallel {base_q:.4f}%  "
             f"dual {100 * ratios_dual[-1]:5.1f}%  otem {100 * ratios_otem[-1]:5.1f}%"
         )
 

@@ -6,17 +6,22 @@ average power and thermal safety per size - the analysis an engineer would
 run before buying 25,000 F worth of ultracapacitors (~$15k at the paper's
 price point).
 
+The sweep is one :func:`repro.run_batch` grid: pass a worker count to fan
+it out over processes, and repeated invocations are served from the
+on-disk result cache in ``.repro_cache``.
+
 Usage::
 
-    python examples/ucap_sizing_study.py [methodology] [cycle]
+    python examples/ucap_sizing_study.py [methodology] [cycle] [workers]
 """
 
 import sys
 
-from repro import Scenario, run_scenario
+from repro import Scenario, run_batch, scenario_grid
+from repro.sim.batch import ResultCache
 from repro.utils.units import kelvin_to_celsius
 
-SIZES_F = (5_000, 10_000, 15_000, 20_000, 25_000)
+SIZES_F = (5_000.0, 10_000.0, 15_000.0, 20_000.0, 25_000.0)
 
 #: Paper's cost estimate: ~$12,000 per 20,000 F (Section I).
 DOLLARS_PER_FARAD = 0.6
@@ -25,21 +30,31 @@ DOLLARS_PER_FARAD = 0.6
 def main():
     methodology = sys.argv[1] if len(sys.argv) > 1 else "otem"
     cycle = sys.argv[2] if len(sys.argv) > 2 else "us06"
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else 0
 
-    print(f"Sizing study: {methodology} on {cycle} x2")
+    grid = scenario_grid(
+        Scenario(methodology=methodology, cycle=cycle, repeat=2),
+        ucap_farads=SIZES_F,
+    )
+    batch = run_batch(
+        grid, workers=workers, cache=ResultCache()
+    ).raise_on_failure()
+
+    print(
+        f"Sizing study: {methodology} on {cycle} x2 "
+        f"({len(grid)} cells, {workers or 1} worker(s), "
+        f"{batch.cache_hits} cached, {batch.wall_s:.1f} s)"
+    )
     print(
         f"{'size [F]':>9} {'cost [$]':>9} {'Qloss [%]':>10} {'avg P [kW]':>11} "
         f"{'peak T [C]':>11} {'unsafe [s]':>11}"
     )
     rows = []
-    for size in SIZES_F:
-        result = run_scenario(
-            Scenario(methodology=methodology, cycle=cycle, repeat=2, ucap_farads=size)
-        )
-        m = result.metrics
+    for cell in batch.cells:
+        size, m = cell.scenario.ucap_farads, cell.metrics
         rows.append((size, m))
         print(
-            f"{size:>9} {size * DOLLARS_PER_FARAD:>9,.0f} "
+            f"{size:>9.0f} {size * DOLLARS_PER_FARAD:>9,.0f} "
             f"{m.qloss_percent:>10.4f} {m.average_power_w / 1000:>11.2f} "
             f"{kelvin_to_celsius(m.peak_temp_k):>11.1f} {m.time_above_safe_s:>11.0f}"
         )
@@ -47,7 +62,7 @@ def main():
     best = min(rows, key=lambda r: r[1].qloss_percent)
     print()
     print(
-        f"Best battery lifetime at {best[0]:,} F "
+        f"Best battery lifetime at {best[0]:,.0f} F "
         f"(${best[0] * DOLLARS_PER_FARAD:,.0f}): {best[1].qloss_percent:.4f}% loss"
     )
     if methodology == "otem":

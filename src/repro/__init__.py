@@ -33,7 +33,15 @@ from repro.controllers import (
     ParallelPassiveController,
 )
 from repro.core import CostWeights, OTEMController
-from repro.sim import Scenario, SimulationResult, Simulator, run_scenario
+from repro.sim import (
+    BatchResult,
+    Scenario,
+    SimulationResult,
+    Simulator,
+    run_batch,
+    run_scenario,
+    scenario_grid,
+)
 
 __version__ = "1.0.0"
 
@@ -46,6 +54,9 @@ __all__ = [
     "Scenario",
     "SimulationResult",
     "Simulator",
+    "BatchResult",
+    "run_batch",
     "run_scenario",
+    "scenario_grid",
     "__version__",
 ]

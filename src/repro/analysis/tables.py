@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
-from repro.sim.scenario import Scenario, run_scenario
+from repro.sim.batch import ResultCache, run_batch
+from repro.sim.scenario import Scenario
 
 #: The paper's Table I sweep.
 TABLE1_SIZES_F = (5_000.0, 10_000.0, 20_000.0, 25_000.0)
@@ -72,23 +73,29 @@ def table1_data(
     methods: Sequence[str] = TABLE1_METHODS,
     cycle: str = "us06",
     repeat: int = 2,
+    workers: int = 0,
+    cache: ResultCache | None = None,
 ) -> Table1Data:
     """Regenerate Table I on the US06 cycle.
 
     Capacity losses are normalized to the parallel architecture at the
-    largest swept size, exactly as in the paper.
+    largest swept size, exactly as in the paper.  The (size x method) grid
+    runs through :func:`repro.sim.batch.run_batch`: pass ``workers`` to
+    fan it out over processes and ``cache`` to reuse stored cells.
     """
-    raw_qloss: Dict[float, Dict[str, float]] = {}
-    raw_power: Dict[float, Dict[str, float]] = {}
-    for size in sizes_f:
-        raw_qloss[size] = {}
-        raw_power[size] = {}
-        for m in methods:
-            result = run_scenario(
-                Scenario(methodology=m, cycle=cycle, repeat=repeat, ucap_farads=size)
-            )
-            raw_qloss[size][m] = result.metrics.qloss_percent
-            raw_power[size][m] = result.metrics.average_power_w
+    scenarios = [
+        Scenario(methodology=m, cycle=cycle, repeat=repeat, ucap_farads=size)
+        for size in sizes_f
+        for m in methods
+    ]
+    batch = run_batch(scenarios, workers=workers, cache=cache).raise_on_failure()
+
+    raw_qloss: Dict[float, Dict[str, float]] = {s: {} for s in sizes_f}
+    raw_power: Dict[float, Dict[str, float]] = {s: {} for s in sizes_f}
+    for cell in batch.cells:
+        s = cell.scenario
+        raw_qloss[s.ucap_farads][s.methodology] = cell.metrics.qloss_percent
+        raw_power[s.ucap_farads][s.methodology] = cell.metrics.average_power_w
 
     reference = raw_qloss[max(sizes_f)].get("parallel")
     rows = []

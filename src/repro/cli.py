@@ -7,14 +7,13 @@ Commands
 ``table1``   regenerate the paper's Table I.
 ``cycles``   list the built-in drive cycles and their statistics.
 ``export``   run a scenario and write the full trace to CSV.
+``batch``    fan a scenario grid out over worker processes, with caching.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-
-import numpy as np
 
 from repro.analysis.figures import METHOD_LABELS
 from repro.analysis.report import render_table1
@@ -47,6 +46,76 @@ def build_parser() -> argparse.ArgumentParser:
     export = sub.add_parser("export", help="run a scenario, write the trace to CSV")
     _add_scenario_args(export)
     export.add_argument("output", help="CSV file to write")
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a scenario grid across worker processes (cached)",
+        description=(
+            "Cross-product grid over the repeated flags below, executed by "
+            "repro.sim.batch.run_batch with crash isolation per cell."
+        ),
+    )
+    batch.add_argument(
+        "--methodology",
+        "-m",
+        action="append",
+        choices=METHODOLOGIES,
+        help="methodology axis (repeatable; default: otem)",
+    )
+    batch.add_argument(
+        "--cycle",
+        "-c",
+        action="append",
+        help="drive-cycle axis (repeatable; default: us06)",
+    )
+    batch.add_argument(
+        "--ucap-farads",
+        action="append",
+        type=float,
+        help="bank-size axis [F] (repeatable; default: 25000)",
+    )
+    batch.add_argument(
+        "--initial-temp-c",
+        action="append",
+        type=float,
+        help="start-temperature axis [C] (repeatable; default: 24.85)",
+    )
+    batch.add_argument(
+        "--seeds",
+        type=int,
+        default=0,
+        help="traffic-perturbation axis: members 0..N-1 (default: off)",
+    )
+    batch.add_argument(
+        "--repeat", "-r", type=int, default=1, help="cycle repetitions (default: 1)"
+    )
+    batch.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=0,
+        help="worker processes; 0 = serial in-process (default)",
+    )
+    batch.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        help="result-cache directory (default: .repro_cache)",
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-scenario wall-clock budget [s] (parallel mode)",
+    )
+    batch.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="write the batch's BENCH-format JSON payload to this file",
+    )
 
     return parser
 
@@ -166,12 +235,75 @@ def cmd_export(args, out) -> int:
     return 0
 
 
+def cmd_batch(args, out) -> int:
+    import json
+
+    from repro.sim.batch import ResultCache, run_batch, scenario_grid
+
+    base = Scenario(repeat=args.repeat)
+    axes = {
+        "methodology": args.methodology or ["otem"],
+        "cycle": args.cycle or ["us06"],
+        "ucap_farads": args.ucap_farads or [25_000.0],
+        "initial_temp_k": [t + 273.15 for t in (args.initial_temp_c or [24.85])],
+    }
+    if args.seeds:
+        axes["perturb_seed"] = list(range(args.seeds))
+    scenarios = scenario_grid(base, **axes)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    result = run_batch(
+        scenarios, workers=args.workers, cache=cache, timeout_s=args.timeout
+    )
+
+    print(
+        f"{'methodology':>12} {'cycle':>10} {'size [F]':>9} {'T0 [C]':>7} "
+        f"{'Qloss [%]':>10} {'avg P [kW]':>11} {'peak T [C]':>11} "
+        f"{'wall [s]':>9} {'':>6}",
+        file=out,
+    )
+    for cell in result.cells:
+        s = cell.scenario
+        cycle_label = s.cycle if s.perturb_seed is None else f"{s.cycle}~{s.perturb_seed}"
+        if not cell.ok:
+            print(
+                f"{s.methodology:>12} {cycle_label:>10} {s.ucap_farads:>9.0f} "
+                f"{s.initial_temp_k - 273.15:>7.1f} FAILED: {cell.error}",
+                file=out,
+            )
+            continue
+        m = cell.metrics
+        tag = "cached" if cell.cached else ""
+        print(
+            f"{s.methodology:>12} {cycle_label:>10} {s.ucap_farads:>9.0f} "
+            f"{s.initial_temp_k - 273.15:>7.1f} {m.qloss_percent:>10.4f} "
+            f"{m.average_power_w / 1000:>11.2f} "
+            f"{kelvin_to_celsius(m.peak_temp_k):>11.1f} {cell.wall_s:>9.2f} {tag:>6}",
+            file=out,
+        )
+    print(
+        f"{len(result)} cells in {result.wall_s:.2f} s "
+        f"({result.workers or 1} worker(s), "
+        f"{result.cache_hits} cache hit(s), {result.cache_misses} miss(es), "
+        f"{len(result.failures)} failure(s))",
+        file=out,
+    )
+
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(result.bench_payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_path}", file=out)
+    return 0 if result.ok else 1
+
+
 _COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "table1": cmd_table1,
     "cycles": cmd_cycles,
     "export": cmd_export,
+    "batch": cmd_batch,
 }
 
 

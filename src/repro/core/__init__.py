@@ -28,7 +28,7 @@ Public API
 from repro.core.cost import CostWeights
 from repro.core.estimator import FilteredObservations, ThermalKalmanFilter
 from repro.core.rollout import PredictionModel, RolloutResult
-from repro.core.mpc import MPCPlan, MPCPlanner
+from repro.core.mpc import MPCPlan, MPCPlanner, SolverStats
 from repro.core.otem import OTEMController
 from repro.core.teb import (
     TEBParams,
@@ -45,6 +45,7 @@ __all__ = [
     "RolloutResult",
     "MPCPlan",
     "MPCPlanner",
+    "SolverStats",
     "OTEMController",
     "TEBParams",
     "teb_preparation_score",

@@ -20,6 +20,30 @@ from repro.core.rollout import PredictionModel, RolloutResult
 
 
 @dataclass(frozen=True)
+class SolverStats:
+    """Accumulated optimizer effort over one route (diagnostics).
+
+    Attributes
+    ----------
+    solves:
+        Number of horizon problems solved (one per replan).
+    total_iterations:
+        Sum of :attr:`MPCPlan.solver_iterations` over all solves.
+    last_cost:
+        Objective value achieved by the most recent solve.
+    """
+
+    solves: int
+    total_iterations: int
+    last_cost: float
+
+    @property
+    def mean_iterations(self) -> float:
+        """Average iterations per solve (0 when nothing was solved)."""
+        return self.total_iterations / self.solves if self.solves else 0.0
+
+
+@dataclass(frozen=True)
 class MPCPlan:
     """One solved horizon.
 
@@ -107,6 +131,9 @@ class MPCPlanner:
             raise ValueError("inlet_span_k must be increasing")
         self._maxfun = max_function_evals
         self._last_z: np.ndarray | None = None
+        self._solves = 0
+        self._total_iterations = 0
+        self._last_cost = float("nan")
 
     @property
     def horizon(self) -> int:
@@ -117,6 +144,15 @@ class MPCPlanner:
     def step_s(self) -> float:
         """Horizon step duration [s]."""
         return self._dt
+
+    @property
+    def stats(self) -> SolverStats:
+        """Optimizer effort accumulated since the last :meth:`reset`."""
+        return SolverStats(
+            solves=self._solves,
+            total_iterations=self._total_iterations,
+            last_cost=self._last_cost,
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -154,8 +190,11 @@ class MPCPlanner:
         return np.clip(z, 0.0, 1.0)
 
     def reset(self):
-        """Forget the warm start (fresh route)."""
+        """Forget the warm start and the effort counters (fresh route)."""
         self._last_z = None
+        self._solves = 0
+        self._total_iterations = 0
+        self._last_cost = float("nan")
 
     # ------------------------------------------------------------------ #
     # solver backends
@@ -272,6 +311,9 @@ class MPCPlanner:
             result = self._solve_penalty(objective, state, n)
         z_opt = np.clip(result.x, 0.0, 1.0)
         self._last_z = z_opt
+        self._solves += 1
+        self._total_iterations += int(result.nit)
+        self._last_cost = float(result.fun)
         cap, inlet = self._denormalize(z_opt)
         predicted = model.rollout(state, list(cap), list(inlet), preview, step)
         return MPCPlan(

@@ -15,7 +15,7 @@ from repro.battery.pack import DEFAULT_PACK, BatteryPack, PackConfig
 from repro.controllers.base import Architecture, Decision, Observation
 from repro.cooling.coolant import DEFAULT_COOLANT, CoolantParams
 from repro.core.cost import CostWeights
-from repro.core.mpc import MPCPlanner
+from repro.core.mpc import MPCPlanner, SolverStats
 from repro.core.rollout import PredictionModel
 from repro.hees.hybrid import default_battery_converter, default_cap_converter
 from repro.ultracap.bank import UltracapBank
@@ -117,6 +117,11 @@ class OTEMController:
     def weights(self) -> CostWeights:
         """Objective weights in use."""
         return self._weights
+
+    def solver_stats(self) -> SolverStats:
+        """Optimizer effort since the last :meth:`reset` (the simulator
+        attaches this to :class:`repro.sim.engine.SimulationResult`)."""
+        return self._planner.stats
 
     def required_preview_steps(self, plant_dt: float) -> int:
         """Preview length the simulator must provide at plant sampling."""

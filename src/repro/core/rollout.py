@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.battery.pack import BatteryPack, PackConfig
+from repro.battery.pack import PackConfig
 from repro.cooling.coolant import CoolantParams
 from repro.core.cost import CostWeights
 from repro.hees.converter import DCDCConverter

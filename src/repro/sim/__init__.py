@@ -15,12 +15,22 @@ Public API
     The quantities the paper's evaluation reports.
 ``Scenario`` / ``run_scenario``
     One-call convenience wrapper (controller + cycle + sizing -> result).
+``run_batch`` / ``scenario_grid`` / ``BatchResult`` / ``ResultCache``
+    Parallel execution of scenario grids with content-addressed caching.
 """
 
 from repro.sim.trace import Trace, TraceRecorder
 from repro.sim.metrics import SummaryMetrics, compute_metrics
 from repro.sim.engine import SimulationResult, Simulator
 from repro.sim.scenario import Scenario, build_controller, run_scenario
+from repro.sim.batch import (
+    BatchCell,
+    BatchResult,
+    ResultCache,
+    run_batch,
+    scenario_fingerprint,
+    scenario_grid,
+)
 
 __all__ = [
     "Trace",
@@ -32,4 +42,10 @@ __all__ = [
     "Scenario",
     "build_controller",
     "run_scenario",
+    "BatchCell",
+    "BatchResult",
+    "ResultCache",
+    "run_batch",
+    "scenario_fingerprint",
+    "scenario_grid",
 ]

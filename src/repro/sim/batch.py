@@ -1,0 +1,415 @@
+"""Parallel batch execution of scenario grids, with a result cache.
+
+Every sweep in the evaluation - Table I's bank sizes, the ambient
+temperature extension, the Monte-Carlo robustness ensemble - is an
+embarrassingly parallel grid of independent :class:`~repro.sim.scenario.
+Scenario` cells.  :func:`run_batch` fans such a grid out across worker
+processes and aggregates the per-cell :class:`~repro.sim.metrics.
+SummaryMetrics` into a :class:`BatchResult`:
+
+* **deterministic ordering** - cell ``i`` of the result is always scenario
+  ``i`` of the input, regardless of which worker finished first;
+* **crash isolation** - a diverging solve (or any exception) fails *that
+  cell* (``cell.error``) instead of the sweep;
+* **per-scenario timeout** - a best-effort wall-clock budget per cell
+  (a cell that exceeds it is marked failed and abandoned);
+* **content-addressed caching** - an on-disk store keyed by a fingerprint
+  of the full scenario (controller, pack, vehicle, coolant, weights, MPC
+  knobs), so repeated sweeps and CI re-runs skip already-computed cells.
+
+Serial execution (``workers=0``) goes through exactly the same cell
+runner, so parallel results are bitwise identical to serial ones (see
+tests/sim/test_batch.py).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.mpc import SolverStats
+from repro.sim.metrics import SummaryMetrics
+from repro.sim.scenario import Scenario, run_scenario
+
+#: Bump when the cached payload layout or the simulation semantics change
+#: in a way that must invalidate existing cache entries.
+CACHE_SCHEMA = 1
+
+#: Default cache directory (created on first use; gitignored).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+# ---------------------------------------------------------------------- #
+# fingerprinting
+
+
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """Content hash of everything that determines a scenario's result.
+
+    Recursively serializes the scenario's dataclass tree (pack, vehicle,
+    coolant, weights, MPC knobs included) into canonical JSON and hashes
+    it together with the cache schema and the package version, so any
+    parameter change - however deep - yields a different key.
+    """
+    import repro  # late: repro/__init__ may still be executing at import time
+
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "version": repro.__version__,
+        "scenario": dataclasses.asdict(scenario),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# the per-cell payload (what workers return and the cache stores)
+
+
+@dataclass(frozen=True)
+class CellPayload:
+    """Picklable result of one scenario run (no trace - summaries only)."""
+
+    controller_name: str
+    cycle_name: str
+    metrics: SummaryMetrics
+    solver: SolverStats | None
+    wall_s: float
+
+
+@dataclass(frozen=True)
+class BatchCell:
+    """One grid cell of a :class:`BatchResult`.
+
+    ``metrics`` is ``None`` exactly when ``error`` is set; ``cached`` marks
+    cells served from the result cache (their ``wall_s`` is the original
+    compute time, not the lookup time).
+    """
+
+    index: int
+    scenario: Scenario
+    metrics: SummaryMetrics | None = None
+    solver: SolverStats | None = None
+    controller_name: str = ""
+    cycle_name: str = ""
+    wall_s: float = 0.0
+    cached: bool = False
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell computed successfully."""
+        return self.error is None
+
+
+# ---------------------------------------------------------------------- #
+# the cache
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`CellPayload` pickles.
+
+    One file per fingerprint under ``directory``; corrupt or unreadable
+    entries count as misses and are overwritten.  Instances track their
+    own hit/miss counters (reported per batch).
+    """
+
+    def __init__(self, directory: str | os.PathLike = DEFAULT_CACHE_DIR):
+        self._dir = os.fspath(directory)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def directory(self) -> str:
+        """Root directory of the store."""
+        return self._dir
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self._dir, f"{key}.pkl")
+
+    def get(self, key: str) -> CellPayload | None:
+        """Look a payload up; ``None`` (and a miss) when absent/corrupt."""
+        try:
+            with open(self._path(key), "rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, CellPayload):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: CellPayload) -> None:
+        """Store a payload (atomic rename so readers never see partials)."""
+        os.makedirs(self._dir, exist_ok=True)
+        tmp = self._path(key) + f".tmp{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, self._path(key))
+
+
+# ---------------------------------------------------------------------- #
+# the runner
+
+
+def _execute_cell(scenario: Scenario) -> CellPayload:
+    """Run one scenario and reduce it to a picklable payload.
+
+    Module-level so worker processes can import it under any start method.
+    """
+    start = time.perf_counter()
+    result = run_scenario(scenario)
+    return CellPayload(
+        controller_name=result.controller_name,
+        cycle_name=result.cycle_name,
+        metrics=result.metrics,
+        solver=result.solver,
+        wall_s=time.perf_counter() - start,
+    )
+
+
+def _guarded_cell(scenario: Scenario) -> tuple[CellPayload | None, str | None]:
+    """Crash-isolation wrapper: exceptions become an error string."""
+    try:
+        return _execute_cell(scenario), None
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Aggregated output of one :func:`run_batch` call.
+
+    ``cells`` is index-aligned with the input scenarios.  The tidy-row
+    accessors feed :mod:`repro.analysis` and the perf-trajectory JSON.
+    """
+
+    cells: tuple
+    wall_s: float
+    workers: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every cell computed successfully."""
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def failures(self) -> tuple:
+        """The failed cells (empty on a clean sweep)."""
+        return tuple(cell for cell in self.cells if not cell.ok)
+
+    def metrics(self) -> list:
+        """Index-aligned ``SummaryMetrics`` list (``None`` for failures)."""
+        return [cell.metrics for cell in self.cells]
+
+    def raise_on_failure(self) -> "BatchResult":
+        """Raise ``RuntimeError`` listing failed cells, else return self."""
+        if not self.ok:
+            lines = [
+                f"  cell {c.index} ({c.scenario.methodology}/{c.scenario.cycle}): "
+                f"{c.error}"
+                for c in self.failures
+            ]
+            raise RuntimeError(
+                f"{len(self.failures)} of {len(self)} batch cells failed:\n"
+                + "\n".join(lines)
+            )
+        return self
+
+    def rows(self) -> list:
+        """Tidy rows (one dict per cell): scenario knobs + metrics + stats.
+
+        The flat format :mod:`repro.analysis.tables`/``figures`` and the
+        ``BENCH_*.json`` trajectory files consume.
+        """
+        out = []
+        for cell in self.cells:
+            s = cell.scenario
+            row = {
+                "index": cell.index,
+                "methodology": s.methodology,
+                "cycle": s.cycle,
+                "repeat": s.repeat,
+                "ucap_farads": s.ucap_farads,
+                "initial_temp_k": s.initial_temp_k,
+                "perturb_seed": s.perturb_seed,
+                "controller": cell.controller_name,
+                "wall_s": cell.wall_s,
+                "cached": cell.cached,
+                "error": cell.error,
+            }
+            if cell.metrics is not None:
+                for f in dataclasses.fields(cell.metrics):
+                    row[f.name] = getattr(cell.metrics, f.name)
+            if cell.solver is not None:
+                row["solver_solves"] = cell.solver.solves
+                row["solver_iterations"] = cell.solver.total_iterations
+            out.append(row)
+        return out
+
+    def bench_payload(self) -> dict:
+        """The ``BENCH_batch.json`` fragment describing this run."""
+        return {
+            "cells": len(self.cells),
+            "failures": len(self.failures),
+            "wall_s": self.wall_s,
+            "workers": self.workers,
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "rows": self.rows(),
+        }
+
+
+def run_batch(
+    scenarios: Iterable[Scenario] | Sequence[Scenario],
+    workers: int = 0,
+    cache: ResultCache | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    timeout_s: float | None = None,
+    on_cell: Callable[[BatchCell], None] | None = None,
+) -> BatchResult:
+    """Run a grid of scenarios, optionally in parallel and cached.
+
+    Parameters
+    ----------
+    scenarios:
+        The grid, in the order results should come back.
+    workers:
+        ``0`` or ``1`` runs serially in-process; ``n >= 2`` fans out over a
+        ``ProcessPoolExecutor`` with ``n`` workers.  Parallel cells produce
+        bitwise-identical ``SummaryMetrics`` to serial ones.
+    cache / cache_dir:
+        Pass a :class:`ResultCache` (or just a directory) to skip cells
+        whose fingerprint is already stored and to store fresh results.
+        ``None`` (default) disables caching.
+    timeout_s:
+        Best-effort per-cell wall-clock budget (parallel mode only): a
+        cell still pending that long after its turn comes up is marked
+        failed with a timeout error and abandoned.
+    on_cell:
+        Progress callback invoked with each finished :class:`BatchCell`
+        in completion order (serial mode: submission order).
+
+    Returns
+    -------
+    BatchResult
+        Cells index-aligned with ``scenarios``.
+    """
+    scenarios = list(scenarios)
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+    hits0 = cache.hits if cache else 0
+    misses0 = cache.misses if cache else 0
+
+    start = time.perf_counter()
+    cells: list = [None] * len(scenarios)
+
+    def finish(index: int, cell: BatchCell) -> None:
+        cells[index] = cell
+        if on_cell is not None:
+            on_cell(cell)
+
+    def from_payload(
+        index: int, payload: CellPayload, cached: bool
+    ) -> BatchCell:
+        return BatchCell(
+            index=index,
+            scenario=scenarios[index],
+            metrics=payload.metrics,
+            solver=payload.solver,
+            controller_name=payload.controller_name,
+            cycle_name=payload.cycle_name,
+            wall_s=payload.wall_s,
+            cached=cached,
+        )
+
+    # serve cache hits first; collect the cells that actually need compute
+    pending: list = []
+    keys: dict = {}
+    for i, scenario in enumerate(scenarios):
+        if cache is not None:
+            keys[i] = scenario_fingerprint(scenario)
+            payload = cache.get(keys[i])
+            if payload is not None:
+                finish(i, from_payload(i, payload, cached=True))
+                continue
+        pending.append(i)
+
+    def complete(index: int, payload: CellPayload | None, error: str | None):
+        if payload is None:
+            finish(
+                index,
+                BatchCell(index=index, scenario=scenarios[index], error=error),
+            )
+            return
+        if cache is not None:
+            cache.put(keys[index], payload)
+        finish(index, from_payload(index, payload, cached=False))
+
+    if workers <= 1:
+        for i in pending:
+            payload, error = _guarded_cell(scenarios[i])
+            complete(i, payload, error)
+    elif pending:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                i: pool.submit(_guarded_cell, scenarios[i]) for i in pending
+            }
+            for i in pending:
+                try:
+                    payload, error = futures[i].result(timeout=timeout_s)
+                except concurrent.futures.TimeoutError:
+                    futures[i].cancel()
+                    payload, error = None, f"timeout: exceeded {timeout_s:g} s budget"
+                except concurrent.futures.process.BrokenProcessPool as exc:
+                    payload, error = None, f"worker died: {exc}"
+                complete(i, payload, error)
+
+    return BatchResult(
+        cells=tuple(cells),
+        wall_s=time.perf_counter() - start,
+        workers=workers,
+        cache_hits=(cache.hits - hits0) if cache else 0,
+        cache_misses=(cache.misses - misses0) if cache else 0,
+    )
+
+
+def scenario_grid(base: Scenario, **axes: Sequence) -> list:
+    """Cross-product grid of scenarios around ``base``.
+
+    Each keyword names a :class:`Scenario` field and supplies the values
+    to sweep; the cross product is enumerated with the *last* axis varying
+    fastest (like nested loops in keyword order).
+
+    >>> grid = scenario_grid(
+    ...     Scenario(cycle="nycc"),
+    ...     methodology=("parallel", "otem"),
+    ...     ucap_farads=(5_000.0, 25_000.0),
+    ... )
+    >>> [(s.methodology, s.ucap_farads) for s in grid]  # doctest: +SKIP
+    """
+    grid = [base]
+    for name, values in axes.items():
+        if not list(values):
+            raise ValueError(f"axis {name!r} has no values")
+        grid = [
+            dataclasses.replace(s, **{name: value})
+            for s in grid
+            for value in values
+        ]
+    return grid

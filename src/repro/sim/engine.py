@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.battery.pack import DEFAULT_PACK, BatteryPack, PackConfig
 from repro.controllers.base import Architecture, Controller, Observation
+from repro.core.mpc import SolverStats
 from repro.cooling.coolant import DEFAULT_COOLANT, CoolantParams
 from repro.cooling.loop import CoolingLoop
 from repro.hees.dual import DualHEES, DualMode
@@ -34,12 +35,18 @@ from repro.utils.validation import check_in_range, check_positive
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Output of one run: the trace, its summary, and identification."""
+    """Output of one run: the trace, its summary, and identification.
+
+    ``solver`` carries the controller's accumulated optimizer effort when
+    the controller exposes a ``solver_stats()`` method (the OTEM MPC does);
+    baselines leave it ``None``.
+    """
 
     controller_name: str
     cycle_name: str
     trace: Trace
     metrics: SummaryMetrics
+    solver: SolverStats | None = None
 
     @property
     def qloss_percent(self) -> float:
@@ -208,9 +215,11 @@ class Simulator:
             )
 
         trace = recorder.freeze()
+        stats_fn = getattr(controller, "solver_stats", None)
         return SimulationResult(
             controller_name=controller.name,
             cycle_name=request.cycle_name,
             trace=trace,
             metrics=compute_metrics(trace),
+            solver=stats_fn() if callable(stats_fn) else None,
         )

@@ -58,6 +58,11 @@ class Scenario:
         OTEM objective weights (ignored by baselines).
     mpc_horizon / mpc_step_s / mpc_max_evals:
         OTEM planner knobs (ignored by baselines).
+    perturb_seed:
+        When not ``None``, the route is the deterministic traffic-perturbed
+        variant of ``cycle`` with this seed (see
+        :func:`repro.drivecycle.perturb.perturbed`) - Monte-Carlo ensembles
+        become plain scenario grids.
     """
 
     methodology: str = "otem"
@@ -72,6 +77,7 @@ class Scenario:
     mpc_horizon: int = 12
     mpc_step_s: float = 5.0
     mpc_max_evals: int = 150
+    perturb_seed: int | None = None
 
     def __post_init__(self):
         if self.methodology not in METHODOLOGIES:
@@ -121,6 +127,10 @@ def build_controller(scenario: Scenario) -> Controller:
 def run_scenario(scenario: Scenario) -> SimulationResult:
     """Build the stack for ``scenario``, run it, and return the result."""
     cycle = get_cycle(scenario.cycle, repeat=scenario.repeat)
+    if scenario.perturb_seed is not None:
+        from repro.drivecycle.perturb import perturbed
+
+        cycle = perturbed(cycle, scenario.perturb_seed)
     request = Powertrain(scenario.vehicle).power_request(cycle)
     controller = build_controller(scenario)
     if isinstance(controller, OTEMController):

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.validation import check_in_range, check_positive
+from repro.utils.validation import check_in_range
 from repro.vehicle.params import VehicleParams
 
 

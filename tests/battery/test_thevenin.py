@@ -1,7 +1,6 @@
 """Second-order Thevenin model tests, including the paper's
 "more detail does not contradict the methodology" claim."""
 
-import numpy as np
 import pytest
 
 from repro.battery.electrical import BatteryElectrical

@@ -22,6 +22,7 @@ settings.register_profile(
     "repro",
     deadline=None,
     max_examples=50,
+    derandomize=True,  # CI determinism: same examples every run
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.battery.pack import DEFAULT_PACK
-from repro.cooling.coolant import DEFAULT_COOLANT, CoolantParams
+from repro.cooling.coolant import DEFAULT_COOLANT
 from repro.cooling.loop import CoolingLoop
 
 

@@ -5,7 +5,6 @@ CoolingLoop) step-for-step, because the MPC's quality is bounded by its
 model fidelity.
 """
 
-import numpy as np
 import pytest
 
 from repro.battery.pack import DEFAULT_PACK, BatteryPack

@@ -1,7 +1,6 @@
 """Named-cycle library tests: each synthetic cycle must match the published
 statistics of its real counterpart (DESIGN.md substitution table)."""
 
-import numpy as np
 import pytest
 
 from repro.drivecycle.cycle import DriveCycle

@@ -1,6 +1,5 @@
 """Property-based tests for the battery models (Eq. 1-5)."""
 
-import numpy as np
 from hypothesis import given
 from hypothesis import strategies as st
 

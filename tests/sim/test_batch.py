@@ -1,0 +1,199 @@
+"""The batch runner: parallel == serial, caching, crash isolation."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.sim.batch import (
+    BatchCell,
+    CellPayload,
+    ResultCache,
+    run_batch,
+    scenario_fingerprint,
+    scenario_grid,
+)
+from repro.sim.scenario import Scenario
+
+#: A small grid of fast (baseline-only) scenarios on the shortest cycle.
+GRID = scenario_grid(
+    Scenario(cycle="nycc"),
+    methodology=("parallel", "dual"),
+    ucap_farads=(5_000.0, 25_000.0),
+)
+
+
+class TestScenarioGrid:
+    def test_cross_product_last_axis_fastest(self):
+        combos = [(s.methodology, s.ucap_farads) for s in GRID]
+        assert combos == [
+            ("parallel", 5_000.0),
+            ("parallel", 25_000.0),
+            ("dual", 5_000.0),
+            ("dual", 25_000.0),
+        ]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_grid(Scenario(), ucap_farads=())
+
+
+class TestFingerprint:
+    def test_stable_for_equal_scenarios(self):
+        assert scenario_fingerprint(Scenario()) == scenario_fingerprint(Scenario())
+
+    def test_sensitive_to_every_swept_knob(self):
+        base = Scenario()
+        for change in (
+            {"methodology": "dual"},
+            {"cycle": "nycc"},
+            {"repeat": 2},
+            {"ucap_farads": 5_000.0},
+            {"initial_temp_k": 310.0},
+            {"mpc_max_evals": 10},
+            {"perturb_seed": 1},
+        ):
+            varied = dataclasses.replace(base, **change)
+            assert scenario_fingerprint(varied) != scenario_fingerprint(base), change
+
+    def test_sensitive_to_nested_params(self):
+        from repro.core.cost import CostWeights
+
+        varied = dataclasses.replace(Scenario(), weights=CostWeights(w1=123.0))
+        assert scenario_fingerprint(varied) != scenario_fingerprint(Scenario())
+
+
+class TestSerialRun:
+    def test_matches_run_scenario(self):
+        from repro.sim.scenario import run_scenario
+
+        batch = run_batch(GRID[:1])
+        assert batch.ok
+        assert batch.cells[0].metrics == run_scenario(GRID[0]).metrics
+
+    def test_deterministic_ordering_and_rows(self):
+        batch = run_batch(GRID)
+        assert [c.index for c in batch.cells] == [0, 1, 2, 3]
+        assert [c.scenario for c in batch.cells] == GRID
+        rows = batch.rows()
+        assert [r["methodology"] for r in rows] == ["parallel"] * 2 + ["dual"] * 2
+        assert all(r["qloss_percent"] > 0 for r in rows)
+
+    def test_progress_callback(self):
+        seen = []
+        run_batch(GRID[:2], on_cell=seen.append)
+        assert [c.index for c in seen] == [0, 1]
+        assert all(isinstance(c, BatchCell) for c in seen)
+
+
+class TestParallelRun:
+    def test_parallel_equals_serial_bitwise(self):
+        serial = run_batch(GRID, workers=0)
+        parallel = run_batch(GRID, workers=2)
+        assert parallel.ok and parallel.workers == 2
+        # SummaryMetrics is a frozen dataclass of floats: == is bitwise
+        assert [c.metrics for c in parallel.cells] == [
+            c.metrics for c in serial.cells
+        ]
+        assert [c.index for c in parallel.cells] == [c.index for c in serial.cells]
+
+    def test_worker_crash_isolated_to_its_cell(self):
+        bad = dataclasses.replace(GRID[1], cycle="no-such-cycle")
+        batch = run_batch([GRID[0], bad, GRID[2]], workers=2)
+        assert not batch.ok
+        assert [c.ok for c in batch.cells] == [True, False, True]
+        assert "no-such-cycle" in batch.cells[1].error
+        assert batch.cells[1].metrics is None
+        assert batch.failures == (batch.cells[1],)
+        with pytest.raises(RuntimeError, match="1 of 3"):
+            batch.raise_on_failure()
+
+    def test_serial_path_isolates_crashes_too(self):
+        bad = dataclasses.replace(GRID[0], cycle="no-such-cycle")
+        batch = run_batch([bad, GRID[3]], workers=0)
+        assert [c.ok for c in batch.cells] == [False, True]
+
+
+class TestCache:
+    def test_second_run_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_batch(GRID, cache=cache)
+        assert first.cache_hits == 0 and first.cache_misses == len(GRID)
+        second = run_batch(GRID, cache=cache)
+        assert second.cache_hits == len(GRID) and second.cache_misses == 0
+        assert all(c.cached for c in second.cells)
+        assert [c.metrics for c in second.cells] == [c.metrics for c in first.cells]
+
+    def test_parameter_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_batch(GRID[:1], cache=cache)
+        varied = [dataclasses.replace(GRID[0], initial_temp_k=305.0)]
+        rerun = run_batch(varied, cache=cache)
+        assert rerun.cache_hits == 0 and rerun.cache_misses == 1
+
+    def test_cache_dir_shorthand(self, tmp_path):
+        d = tmp_path / "store"
+        run_batch(GRID[:1], cache_dir=d)
+        assert list(d.glob("*.pkl"))
+        hit = run_batch(GRID[:1], cache_dir=d)
+        assert hit.cache_hits == 1
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        bad = [dataclasses.replace(GRID[0], cycle="no-such-cycle")]
+        run_batch(bad, cache=cache)
+        rerun = run_batch(bad, cache=cache)
+        assert rerun.cache_hits == 0
+        assert not rerun.ok
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_batch(GRID[:1], cache=cache)
+        for f in tmp_path.glob("*.pkl"):
+            f.write_bytes(b"not a pickle")
+        rerun = run_batch(GRID[:1], cache=cache)
+        assert rerun.ok and rerun.cache_hits == 0
+
+    def test_payload_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        batch = run_batch(GRID[:1], cache=cache)
+        key = scenario_fingerprint(GRID[0])
+        payload = cache.get(key)
+        assert isinstance(payload, CellPayload)
+        assert payload.metrics == batch.cells[0].metrics
+        assert pickle.loads(pickle.dumps(payload)) == payload
+
+
+class TestSolverStatsPlumbing:
+    def test_otem_cell_carries_solver_stats(self):
+        scenario = Scenario(
+            methodology="otem",
+            cycle="nycc",
+            mpc_horizon=4,
+            mpc_step_s=30.0,
+            mpc_max_evals=10,
+        )
+        batch = run_batch([scenario])
+        cell = batch.cells[0]
+        assert cell.ok
+        assert cell.solver is not None and cell.solver.solves > 0
+        assert cell.solver.total_iterations >= cell.solver.solves
+        row = batch.rows()[0]
+        assert row["solver_solves"] == cell.solver.solves
+
+    def test_baseline_cell_has_no_solver_stats(self):
+        batch = run_batch(GRID[:1])
+        assert batch.cells[0].solver is None
+        assert "solver_solves" not in batch.rows()[0]
+
+
+class TestBenchPayload:
+    def test_shape(self):
+        payload = run_batch(GRID[:2], workers=0).bench_payload()
+        assert payload["cells"] == 2
+        assert payload["failures"] == 0
+        assert payload["cache"] == {"hits": 0, "misses": 0}
+        assert len(payload["rows"]) == 2
+        import json
+
+        json.dumps(payload)  # must be JSON-serializable as-is

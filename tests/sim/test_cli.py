@@ -61,6 +61,43 @@ class TestRun:
         assert "peak temp" in text
 
 
+class TestBatch:
+    def _argv(self, tmp_path):
+        return [
+            "batch",
+            "-m",
+            "parallel",
+            "-m",
+            "dual",
+            "-c",
+            "nycc",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+
+    def test_batch_grid_runs(self, tmp_path):
+        json_path = tmp_path / "batch.json"
+        code, text = run_cli(self._argv(tmp_path) + ["--json", str(json_path)])
+        assert code == 0
+        assert "2 cells" in text
+        assert "0 failure(s)" in text
+        assert json_path.exists()
+
+    def test_batch_rerun_hits_cache(self, tmp_path):
+        run_cli(self._argv(tmp_path))
+        code, text = run_cli(self._argv(tmp_path))
+        assert code == 0
+        assert "2 cache hit(s)" in text
+        assert "cached" in text
+
+    def test_batch_failure_sets_exit_code(self, tmp_path):
+        code, text = run_cli(
+            ["batch", "-m", "parallel", "-c", "no-such-cycle", "--no-cache"]
+        )
+        assert code == 1
+        assert "FAILED" in text
+
+
 class TestExport:
     def test_export_writes_csv(self, tmp_path):
         path = tmp_path / "trace.csv"
