@@ -71,6 +71,9 @@ def test_batch_parallel_matches_serial_and_records_trajectory(benchmark):
             "serial_wall_s": serial.wall_s,
             "parallel_wall_s": parallel.wall_s,
             "parallel_speedup": speedup,
+            # "process-pool", or "serial-fallback" when the host's single
+            # CPU makes the fan-out degrade to in-process execution
+            "methodology": parallel.methodology,
             "cache": {
                 "first_pass_hits": warmup.cache_hits,
                 "first_pass_misses": warmup.cache_misses,
@@ -85,8 +88,8 @@ def test_batch_parallel_matches_serial_and_records_trajectory(benchmark):
     print(
         f"batch sweep ({len(SWEEP)} cells): serial {serial.wall_s:.2f} s, "
         f"parallel x{BATCH_WORKERS} {parallel.wall_s:.2f} s "
-        f"(speedup {speedup:.2f}x on {os.cpu_count()} core(s)), "
-        f"warm cache {cached.wall_s:.2f} s -> {path}"
+        f"({parallel.methodology}, speedup {speedup:.2f}x on "
+        f"{os.cpu_count()} core(s)), warm cache {cached.wall_s:.2f} s -> {path}"
     )
 
     # on a multi-core runner the fan-out must actually pay off

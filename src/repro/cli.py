@@ -81,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="start-temperature axis [C] (repeatable; default: 24.85)",
     )
     batch.add_argument(
+        "--rollout-backend",
+        action="append",
+        choices=("scalar", "vectorized"),
+        help="MPC rollout-backend axis (repeatable; default: scalar)",
+    )
+    batch.add_argument(
         "--seeds",
         type=int,
         default=0,
@@ -147,6 +153,16 @@ def _add_scenario_args(parser: argparse.ArgumentParser, with_methodology: bool =
         default=24.85,
         help="initial battery/coolant temperature [C] (default: 24.85 = 298 K)",
     )
+    parser.add_argument(
+        "--rollout-backend",
+        choices=("scalar", "vectorized"),
+        default="scalar",
+        help=(
+            "MPC rollout implementation: 'scalar' (reference) or "
+            "'vectorized' (batched NumPy kernel, several times faster; "
+            "default: scalar)"
+        ),
+    )
 
 
 def _scenario_from_args(args, methodology: str | None = None) -> Scenario:
@@ -156,6 +172,7 @@ def _scenario_from_args(args, methodology: str | None = None) -> Scenario:
         repeat=args.repeat,
         ucap_farads=args.ucap_farads,
         initial_temp_k=args.initial_temp_c + 273.15,
+        rollout_backend=args.rollout_backend,
     )
 
 
@@ -246,6 +263,7 @@ def cmd_batch(args, out) -> int:
         "cycle": args.cycle or ["us06"],
         "ucap_farads": args.ucap_farads or [25_000.0],
         "initial_temp_k": [t + 273.15 for t in (args.initial_temp_c or [24.85])],
+        "rollout_backend": args.rollout_backend or ["scalar"],
     }
     if args.seeds:
         axes["perturb_seed"] = list(range(args.seeds))

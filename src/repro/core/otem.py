@@ -49,6 +49,11 @@ class OTEMController:
     mpc_method:
         Solver formulation, ``"penalty"`` or ``"slsqp"`` (see
         :class:`repro.core.mpc.MPCPlanner`).
+    rollout_backend:
+        ``"scalar"`` (reference implementation) or ``"vectorized"`` (batched
+        NumPy kernel with batched finite-difference gradients - same model
+        physics, several times faster per solve; see
+        :class:`repro.core.rollout_vec.BatchPredictionModel`).
 
     Notes
     -----
@@ -74,6 +79,7 @@ class OTEMController:
         max_function_evals: int = 150,
         preview_mode: str = "perfect",
         mpc_method: str = "penalty",
+        rollout_backend: str = "scalar",
     ):
         if preview_mode not in ("perfect", "persistence"):
             raise ValueError(
@@ -102,6 +108,7 @@ class OTEMController:
             step_s=mpc_step_s,
             max_function_evals=max_function_evals,
             method=mpc_method,
+            rollout_backend=rollout_backend,
         )
         self._plan = None
         self._plan_step_index = -1

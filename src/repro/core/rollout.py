@@ -9,6 +9,11 @@ rollout matches the real plant step-for-step within tight tolerance.
 
 The rollout returns the OTEM objective (Eq. 19) plus hinge penalties for the
 softened state constraints and the terminal restoration-cost terms.
+
+This scalar loop is the *semantic reference*;
+:class:`repro.core.rollout_vec.BatchPredictionModel` vectorizes the same
+physics over a batch of candidate plans for the solver hot path and is
+equivalence-tested against it to 1e-9.
 """
 
 from __future__ import annotations
@@ -166,9 +171,9 @@ class PredictionModel:
     def rollout_cost(
         self,
         state: tuple,
-        cap_bus: list,
-        inlet: list,
-        preview_w: list,
+        cap_bus,
+        inlet,
+        preview_w,
         dt: float,
     ) -> float:
         """Objective of the trajectory (fast path: no trajectory storage).
@@ -178,7 +183,8 @@ class PredictionModel:
         state:
             (T_b, T_c, SoC, SoE) at the start of the horizon.
         cap_bus:
-            Ultracap bus-power commands per step [W], length N.
+            Ultracap bus-power commands per step [W], length N (any
+            indexable sequence, including an ndarray - no copy is taken).
         inlet:
             Coolant inlet commands per step [K], length N.
         preview_w:
@@ -191,9 +197,9 @@ class PredictionModel:
     def rollout(
         self,
         state: tuple,
-        cap_bus: list,
-        inlet: list,
-        preview_w: list,
+        cap_bus,
+        inlet,
+        preview_w,
         dt: float,
     ) -> RolloutResult:
         """Detailed trajectory (for tests, TEB analysis and diagnostics)."""

@@ -40,7 +40,8 @@ from repro.sim.scenario import Scenario, run_scenario
 
 #: Bump when the cached payload layout or the simulation semantics change
 #: in a way that must invalidate existing cache entries.
-CACHE_SCHEMA = 1
+#: 2: SolverStats gained ``backend``; Scenario gained ``rollout_backend``.
+CACHE_SCHEMA = 2
 
 #: Default cache directory (created on first use; gitignored).
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -198,6 +199,10 @@ class BatchResult:
     workers: int
     cache_hits: int = 0
     cache_misses: int = 0
+    #: How the cells actually executed: ``"serial"`` (requested),
+    #: ``"process-pool"``, or ``"serial-fallback"`` (parallel requested but
+    #: degraded because the host has a single CPU).
+    methodology: str = "serial"
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -246,6 +251,7 @@ class BatchResult:
                 "repeat": s.repeat,
                 "ucap_farads": s.ucap_farads,
                 "initial_temp_k": s.initial_temp_k,
+                "rollout_backend": s.rollout_backend,
                 "perturb_seed": s.perturb_seed,
                 "controller": cell.controller_name,
                 "wall_s": cell.wall_s,
@@ -258,6 +264,13 @@ class BatchResult:
             if cell.solver is not None:
                 row["solver_solves"] = cell.solver.solves
                 row["solver_iterations"] = cell.solver.total_iterations
+                # None (JSON null), never NaN: a controller that never
+                # replanned leaves last_cost at its NaN sentinel, which
+                # json.dumps emits as bare `NaN` - invalid JSON to strict
+                # consumers.
+                row["solver_last_cost"] = cell.solver.last_cost_or_none
+                # pre-schema-2 pickles lack the field
+                row["solver_backend"] = getattr(cell.solver, "backend", "scalar")
             out.append(row)
         return out
 
@@ -268,6 +281,7 @@ class BatchResult:
             "failures": len(self.failures),
             "wall_s": self.wall_s,
             "workers": self.workers,
+            "methodology": self.methodology,
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
             "rows": self.rows(),
         }
@@ -290,7 +304,12 @@ def run_batch(
     workers:
         ``0`` or ``1`` runs serially in-process; ``n >= 2`` fans out over a
         ``ProcessPoolExecutor`` with ``n`` workers.  Parallel cells produce
-        bitwise-identical ``SummaryMetrics`` to serial ones.
+        bitwise-identical ``SummaryMetrics`` to serial ones.  On a
+        single-CPU host a parallel request auto-degrades to in-process
+        serial execution (pool spawn overhead cannot pay off there - see
+        the sub-1.0 "parallel_speedup" it produced in BENCH_batch.json);
+        the degradation is visible as ``BatchResult.methodology ==
+        "serial-fallback"``.
     cache / cache_dir:
         Pass a :class:`ResultCache` (or just a directory) to skip cells
         whose fingerprint is already stored and to store fresh results.
@@ -311,6 +330,13 @@ def run_batch(
     scenarios = list(scenarios)
     if workers < 0:
         raise ValueError("workers must be >= 0")
+    methodology = "serial"
+    if workers >= 2:
+        if (os.cpu_count() or 1) <= 1:
+            workers = 1
+            methodology = "serial-fallback"
+        else:
+            methodology = "process-pool"
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
     hits0 = cache.hits if cache else 0
@@ -386,6 +412,7 @@ def run_batch(
         workers=workers,
         cache_hits=(cache.hits - hits0) if cache else 0,
         cache_misses=(cache.misses - misses0) if cache else 0,
+        methodology=methodology,
     )
 
 

@@ -39,7 +39,10 @@ class SimulationResult:
 
     ``solver`` carries the controller's accumulated optimizer effort when
     the controller exposes a ``solver_stats()`` method (the OTEM MPC does);
-    baselines leave it ``None``.
+    baselines leave it ``None``.  Its ``backend`` field records which
+    rollout implementation produced the plans (``"scalar"`` reference or
+    the ``"vectorized"`` batched kernel), and ``last_cost_or_none`` is the
+    JSON-safe view of the final solve cost (``None`` while NaN).
     """
 
     controller_name: str

@@ -19,6 +19,7 @@ from repro.controllers.dual_threshold import DualThresholdController
 from repro.controllers.parallel_passive import ParallelPassiveController
 from repro.cooling.coolant import DEFAULT_COOLANT, CoolantParams
 from repro.core.cost import CostWeights
+from repro.core.mpc import MPCPlanner
 from repro.core.otem import OTEMController
 from repro.drivecycle.library import get_cycle
 from repro.sim.engine import SimulationResult, Simulator
@@ -58,6 +59,10 @@ class Scenario:
         OTEM objective weights (ignored by baselines).
     mpc_horizon / mpc_step_s / mpc_max_evals:
         OTEM planner knobs (ignored by baselines).
+    rollout_backend:
+        MPC rollout implementation, ``"scalar"`` (reference) or
+        ``"vectorized"`` (batched NumPy kernel, several times faster per
+        solve; ignored by baselines).
     perturb_seed:
         When not ``None``, the route is the deterministic traffic-perturbed
         variant of ``cycle`` with this seed (see
@@ -77,6 +82,7 @@ class Scenario:
     mpc_horizon: int = 12
     mpc_step_s: float = 5.0
     mpc_max_evals: int = 150
+    rollout_backend: str = "scalar"
     perturb_seed: int | None = None
 
     def __post_init__(self):
@@ -87,6 +93,11 @@ class Scenario:
             )
         if self.repeat < 1:
             raise ValueError("repeat must be >= 1")
+        if self.rollout_backend not in MPCPlanner.BACKENDS:
+            raise ValueError(
+                f"unknown rollout_backend {self.rollout_backend!r}; "
+                f"choose from {MPCPlanner.BACKENDS}"
+            )
 
     def with_methodology(self, methodology: str) -> "Scenario":
         """Copy with a different methodology (comparison sweeps)."""
@@ -121,6 +132,7 @@ def build_controller(scenario: Scenario) -> Controller:
         horizon=scenario.mpc_horizon,
         mpc_step_s=scenario.mpc_step_s,
         max_function_evals=scenario.mpc_max_evals,
+        rollout_backend=scenario.rollout_backend,
     )
 
 

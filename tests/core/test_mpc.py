@@ -108,6 +108,81 @@ class TestPlanQuality:
         assert plan.solver_iterations >= 0
 
 
+class TestVectorizedBackend:
+    """The batched-kernel penalty solver (rollout_backend="vectorized")."""
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="rollout_backend"):
+            make_planner(rollout_backend="gpu")
+
+    def test_stats_record_backend(self):
+        vec = make_planner(horizon=6, rollout_backend="vectorized")
+        assert vec.rollout_backend == "vectorized"
+        assert vec.stats.backend == "vectorized"
+        assert make_planner(horizon=6).stats.backend == "scalar"
+
+    def test_last_cost_serialization(self):
+        import math
+
+        planner = make_planner(horizon=4, rollout_backend="vectorized")
+        fresh = planner.stats
+        assert math.isnan(fresh.last_cost) and fresh.last_cost_or_none is None
+        planner.plan((298.0, 298.0, 90.0, 80.0), np.full(4, 10_000.0))
+        after = planner.stats
+        assert after.last_cost_or_none == after.last_cost
+
+    def test_plan_shape_and_bounds(self):
+        planner = make_planner(horizon=6, rollout_backend="vectorized")
+        plan = planner.plan((305.0, 305.0, 70.0, 60.0), np.full(6, 25_000.0))
+        assert plan.cap_bus_w.shape == (6,)
+        assert plan.inlet_temp_k.shape == (6,)
+        assert np.all(np.abs(plan.cap_bus_w) <= planner._cap_hi + 1e-6)
+        assert np.all(plan.inlet_temp_k >= 288.15 - 1e-6)
+        assert np.all(plan.inlet_temp_k <= 312.0 + 1e-6)
+
+    def test_multistart_escapes_stall(self):
+        """Mirror of the scalar stall test: the joint batched race must
+        also beat the do-nothing plan from the documented pathology."""
+        planner = make_planner(horizon=12, rollout_backend="vectorized")
+        state = (313.0, 311.0, 70.0, 60.0)
+        plan = planner.plan(state, np.full(12, 20_000.0))
+        do_nothing = planner._model.rollout_cost(
+            state, [0.0] * 12, [311.0] * 12, [20_000.0] * 12, planner.step_s
+        )
+        assert plan.solver_cost < do_nothing
+
+    def test_cost_comparable_to_scalar(self):
+        """Same formulation, same budget - the solves land on costs within
+        a few percent of each other (different optimizer trajectories)."""
+        state = (310.0, 309.0, 75.0, 70.0)
+        preview = np.full(8, 20_000.0)
+        scalar = make_planner(horizon=8).plan(state, preview)
+        vec = make_planner(horizon=8, rollout_backend="vectorized").plan(
+            state, preview
+        )
+        assert vec.solver_cost <= scalar.solver_cost * 1.10
+        assert scalar.solver_cost <= vec.solver_cost * 1.10
+
+    def test_never_worse_than_its_starts(self):
+        """The joint race must return at least the best start point."""
+        planner = make_planner(horizon=8, rollout_backend="vectorized")
+        state = (311.0, 310.0, 70.0, 60.0)
+        preview = np.full(8, 22_000.0)
+        plan = planner.plan(state, preview)
+        full_cool = planner._model.rollout_cost(
+            state, [0.0] * 8, [288.15] * 8, preview, planner.step_s
+        )
+        assert plan.solver_cost <= full_cool + 1e-6
+
+    def test_warm_start_reused(self):
+        planner = make_planner(horizon=6, rollout_backend="vectorized")
+        state = (305.0, 304.0, 80.0, 80.0)
+        planner.plan(state, np.full(6, 15_000.0))
+        assert planner._last_z is not None
+        planner.reset()
+        assert planner._last_z is None
+
+
 class TestSLSQPBackend:
     """The explicit-constraint formulation of the paper's Eq. 18."""
 

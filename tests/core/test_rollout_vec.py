@@ -1,0 +1,198 @@
+"""Batched-kernel equivalence: `BatchPredictionModel` vs the scalar rollout.
+
+The vectorized kernel is a performance backend, not a second model: every
+cost and every state trajectory it produces must match the scalar
+reference `PredictionModel._rollout` to numerical round-off (the ISSUE
+budget is 1e-9; the kernel actually agrees to ~1e-14 because both paths
+evaluate the same arithmetic).  The hypothesis suite drives randomized
+states, commands, horizons, and batch sizes; the directed tests pin the
+guard branches (SoE floor, C6 charge headroom) that random draws may
+visit only rarely.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery.pack import DEFAULT_PACK, BatteryPack
+from repro.cooling.coolant import DEFAULT_COOLANT
+from repro.core.cost import CostWeights
+from repro.core.rollout import PredictionModel
+from repro.core.rollout_vec import BatchPredictionModel, BatchRolloutResult
+from repro.hees.hybrid import default_battery_converter, default_cap_converter
+from repro.ultracap.bank import UltracapBank
+from repro.ultracap.params import UltracapParams
+
+SCALAR = PredictionModel(
+    DEFAULT_PACK,
+    UltracapParams(),
+    DEFAULT_COOLANT,
+    default_battery_converter(BatteryPack(DEFAULT_PACK)),
+    default_cap_converter(UltracapBank(UltracapParams())),
+    CostWeights(),
+)
+BATCH = BatchPredictionModel.from_scalar(SCALAR)
+
+REL_TOL = 1e-9  # the acceptance budget; observed agreement is ~1e-14
+
+
+def _finite(lo, hi):
+    return st.floats(min_value=lo, max_value=hi, allow_nan=False)
+
+
+@st.composite
+def rollout_case(draw):
+    """A random (state, cap (M,N), inlet (M,N), preview (N,), dt) case.
+
+    Spans both guard regimes: SoE down to 2 % (the floor clamps stored
+    energy at 1 %) and previews up to ~95 % of the pack rating (where a
+    charging cap command hits the C6 headroom guard).
+    """
+    n = draw(st.integers(min_value=1, max_value=12))
+    m = draw(st.integers(min_value=1, max_value=5))
+    state = (
+        draw(_finite(290.0, 313.0)),  # T_b
+        draw(_finite(289.0, 313.0)),  # T_c
+        draw(_finite(25.0, 95.0)),    # SoC
+        draw(_finite(2.0, 100.0)),    # SoE
+    )
+    cap = draw(
+        st.lists(
+            st.lists(_finite(-60_000.0, 60_000.0), min_size=n, max_size=n),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    inlet = draw(
+        st.lists(
+            st.lists(_finite(288.15, 315.0), min_size=n, max_size=n),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    preview = draw(
+        st.lists(_finite(-10_000.0, SCALAR.pack_pmax * 0.95), min_size=n, max_size=n)
+    )
+    dt = draw(_finite(1.0, 30.0))
+    return state, np.array(cap), np.array(inlet), np.array(preview), dt
+
+
+@given(rollout_case())
+@settings(max_examples=40)
+def test_costs_match_scalar(case):
+    state, cap, inlet, preview, dt = case
+    costs = BATCH.rollout_costs(state, cap, inlet, preview, dt)
+    assert costs.shape == (cap.shape[0],)
+    for i in range(cap.shape[0]):
+        ref = SCALAR.rollout_cost(state, cap[i], inlet[i], preview, dt)
+        assert math.isclose(costs[i], ref, rel_tol=REL_TOL, abs_tol=1e-6)
+
+
+@given(rollout_case())
+@settings(max_examples=25)
+def test_trajectories_match_scalar(case):
+    state, cap, inlet, preview, dt = case
+    batch = BATCH.rollout_batch(state, cap, inlet, preview, dt)
+    assert isinstance(batch, BatchRolloutResult)
+    for i in range(cap.shape[0]):
+        ref = SCALAR.rollout(state, cap[i], inlet[i], preview, dt)
+        np.testing.assert_allclose(batch.temps_k[i], ref.temps_k, rtol=REL_TOL)
+        np.testing.assert_allclose(batch.coolant_k[i], ref.coolant_k, rtol=REL_TOL)
+        np.testing.assert_allclose(
+            batch.socs[i], ref.socs, rtol=REL_TOL, atol=REL_TOL
+        )
+        np.testing.assert_allclose(
+            batch.soes[i], ref.soes, rtol=REL_TOL, atol=REL_TOL
+        )
+        for name in ("cost", "objective", "penalty", "terminal",
+                     "cooling_j", "qloss_percent", "hees_j"):
+            got = float(getattr(batch, name)[i])
+            want = float(getattr(ref, name))
+            assert math.isclose(got, want, rel_tol=REL_TOL, abs_tol=1e-9), name
+
+
+class TestGuardBranches:
+    """Directed coverage of the clamped branches."""
+
+    def test_soe_floor_guard(self):
+        """Deep discharge from a nearly-empty bank hits the 1 % floor."""
+        state = (300.0, 299.0, 80.0, 2.0)
+        n = 6
+        cap = np.full((1, n), 40_000.0)  # discharge far beyond what's stored
+        inlet = np.full((1, n), 320.0)
+        preview = np.full(n, 45_000.0)
+        batch = BATCH.rollout_batch(state, cap, inlet, preview, 5.0)
+        ref = SCALAR.rollout(state, cap[0], inlet[0], preview, 5.0)
+        # the guard engaged: stored energy pinned at its floor, not negative
+        assert min(ref.soes) >= 0.99
+        np.testing.assert_allclose(batch.soes[0], ref.soes, rtol=REL_TOL)
+        assert math.isclose(
+            float(batch.cost[0]), ref.cost, rel_tol=REL_TOL
+        )
+
+    def test_c6_charge_headroom_guard(self):
+        """Charging the cap under a near-limit load must not starve it."""
+        state = (298.0, 298.0, 90.0, 50.0)
+        n = 4
+        heavy = SCALAR.pack_pmax * 0.95
+        cap = np.full((1, n), -60_000.0)  # aggressive charge command
+        inlet = np.full((1, n), 320.0)
+        preview = np.full(n, heavy)
+        batch = BATCH.rollout_batch(state, cap, inlet, preview, 5.0)
+        ref = SCALAR.rollout(state, cap[0], inlet[0], preview, 5.0)
+        # the guard curtailed the charge: SoE cannot rise much
+        assert ref.soes[-1] < 55.0
+        np.testing.assert_allclose(batch.soes[0], ref.soes, rtol=REL_TOL)
+        assert math.isclose(
+            float(batch.cost[0]), ref.cost, rel_tol=REL_TOL
+        )
+
+    def test_mixed_batch_spans_both_guards(self):
+        """One kernel call whose rows exercise different branches."""
+        state = (305.0, 304.0, 70.0, 3.0)
+        n = 5
+        cap = np.array(
+            [
+                [35_000.0] * n,   # deep discharge -> SoE floor
+                [-50_000.0] * n,  # charge under load -> C6 headroom
+                [0.0] * n,        # neutral
+            ]
+        )
+        inlet = np.array([[320.0] * n, [295.0] * n, [288.15] * n])
+        preview = np.full(n, SCALAR.pack_pmax * 0.9)
+        costs = BATCH.rollout_costs(state, cap, inlet, preview, 5.0)
+        for i in range(3):
+            ref = SCALAR.rollout_cost(state, cap[i], inlet[i], preview, 5.0)
+            assert math.isclose(costs[i], ref, rel_tol=REL_TOL)
+
+
+class TestBatchInterface:
+    def test_from_scalar_shares_parameters(self):
+        vec = BatchPredictionModel.from_scalar(SCALAR)
+        assert vec.pack_pmax == SCALAR.pack_pmax
+        assert vec.cap_pmax == SCALAR.cap_pmax
+
+    def test_from_scalar_is_idempotent(self):
+        assert BatchPredictionModel.from_scalar(BATCH) is BATCH
+
+    def test_single_row_matches_fast_path(self):
+        state = (305.0, 303.0, 80.0, 70.0)
+        cap = [[5_000.0] * 6]
+        inlet = [[295.0] * 6]
+        preview = [15_000.0] * 6
+        costs = BATCH.rollout_costs(state, cap, inlet, preview, 5.0)
+        ref = SCALAR.rollout_cost(state, cap[0], inlet[0], preview, 5.0)
+        assert costs.shape == (1,)
+        assert costs[0] == pytest.approx(ref, rel=1e-12)
+
+    def test_detailed_cost_equals_fast_cost(self):
+        state = (308.0, 306.0, 75.0, 60.0)
+        cap = np.array([[8_000.0] * 5, [-4_000.0] * 5])
+        inlet = np.array([[292.0] * 5, [310.0] * 5])
+        preview = np.full(5, 20_000.0)
+        fast = BATCH.rollout_costs(state, cap, inlet, preview, 5.0)
+        detailed = BATCH.rollout_batch(state, cap, inlet, preview, 5.0)
+        np.testing.assert_allclose(fast, detailed.cost, rtol=1e-12)

@@ -51,6 +51,7 @@ class TestFingerprint:
             {"ucap_farads": 5_000.0},
             {"initial_temp_k": 310.0},
             {"mpc_max_evals": 10},
+            {"rollout_backend": "vectorized"},
             {"perturb_seed": 1},
         ):
             varied = dataclasses.replace(base, **change)
@@ -90,7 +91,11 @@ class TestParallelRun:
     def test_parallel_equals_serial_bitwise(self):
         serial = run_batch(GRID, workers=0)
         parallel = run_batch(GRID, workers=2)
-        assert parallel.ok and parallel.workers == 2
+        # a single-CPU host degrades the pool to serial (same cell runner)
+        assert parallel.ok
+        assert parallel.methodology in ("process-pool", "serial-fallback")
+        if parallel.methodology == "process-pool":
+            assert parallel.workers == 2
         # SummaryMetrics is a frozen dataclass of floats: == is bitwise
         assert [c.metrics for c in parallel.cells] == [
             c.metrics for c in serial.cells
@@ -164,6 +169,44 @@ class TestCache:
         assert pickle.loads(pickle.dumps(payload)) == payload
 
 
+class TestSerialFallback:
+    """Parallel requests degrade to in-process serial on single-CPU hosts
+    (pool spawn overhead produced the sub-1.0 "parallel speedup" recorded
+    in BENCH_batch.json)."""
+
+    def test_single_cpu_degrades(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        batch = run_batch(GRID[:2], workers=4)
+        assert batch.ok
+        assert batch.methodology == "serial-fallback"
+        assert batch.workers == 1
+        assert batch.bench_payload()["methodology"] == "serial-fallback"
+
+    def test_unknown_cpu_count_degrades(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        batch = run_batch(GRID[:1], workers=2)
+        assert batch.methodology == "serial-fallback"
+
+    def test_multi_cpu_keeps_pool(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        batch = run_batch(GRID[:1], workers=2)
+        assert batch.ok
+        assert batch.methodology == "process-pool"
+        assert batch.workers == 2
+
+    def test_serial_request_stays_serial(self):
+        batch = run_batch(GRID[:1], workers=0)
+        assert batch.methodology == "serial"
+
+    def test_fallback_matches_serial_bitwise(self, monkeypatch):
+        serial = run_batch(GRID[:2], workers=0)
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        fallback = run_batch(GRID[:2], workers=4)
+        assert [c.metrics for c in fallback.cells] == [
+            c.metrics for c in serial.cells
+        ]
+
+
 class TestSolverStatsPlumbing:
     def test_otem_cell_carries_solver_stats(self):
         scenario = Scenario(
@@ -180,11 +223,57 @@ class TestSolverStatsPlumbing:
         assert cell.solver.total_iterations >= cell.solver.solves
         row = batch.rows()[0]
         assert row["solver_solves"] == cell.solver.solves
+        assert row["solver_backend"] == "scalar"
+        assert isinstance(row["solver_last_cost"], float)
+
+    def test_vectorized_cell_records_backend(self):
+        scenario = Scenario(
+            methodology="otem",
+            cycle="nycc",
+            mpc_horizon=4,
+            mpc_step_s=30.0,
+            mpc_max_evals=10,
+            rollout_backend="vectorized",
+        )
+        batch = run_batch([scenario])
+        assert batch.cells[0].ok
+        row = batch.rows()[0]
+        assert row["solver_backend"] == "vectorized"
+        assert row["rollout_backend"] == "vectorized"
 
     def test_baseline_cell_has_no_solver_stats(self):
         batch = run_batch(GRID[:1])
         assert batch.cells[0].solver is None
         assert "solver_solves" not in batch.rows()[0]
+
+    def test_nan_last_cost_serializes_as_null(self):
+        """A controller that never replanned leaves last_cost at its NaN
+        sentinel; the row must carry None (JSON null), never bare NaN."""
+        import json
+        import math
+
+        from repro.core.mpc import SolverStats
+        from repro.sim.batch import BatchResult
+
+        stats = SolverStats(solves=0, total_iterations=0, last_cost=float("nan"))
+        assert math.isnan(stats.last_cost)
+        cell = BatchCell(index=0, scenario=GRID[0], solver=stats)
+        result = BatchResult(cells=(cell,), wall_s=0.0, workers=0)
+        row = result.rows()[0]
+        assert row["solver_last_cost"] is None
+        # strict consumers reject NaN tokens; the payload must survive
+        json.dumps(result.bench_payload(), allow_nan=False)
+
+    def test_pre_schema_2_stats_default_to_scalar_backend(self):
+        """Old cache pickles predate SolverStats.backend."""
+        from repro.core.mpc import SolverStats
+        from repro.sim.batch import BatchResult
+
+        stats = SolverStats(solves=1, total_iterations=3, last_cost=1.0)
+        object.__delattr__(stats, "backend")
+        cell = BatchCell(index=0, scenario=GRID[0], solver=stats)
+        row = BatchResult(cells=(cell,), wall_s=0.0, workers=0).rows()[0]
+        assert row["solver_backend"] == "scalar"
 
 
 class TestBenchPayload:
@@ -192,8 +281,10 @@ class TestBenchPayload:
         payload = run_batch(GRID[:2], workers=0).bench_payload()
         assert payload["cells"] == 2
         assert payload["failures"] == 0
+        assert payload["methodology"] == "serial"
         assert payload["cache"] == {"hits": 0, "misses": 0}
         assert len(payload["rows"]) == 2
+        assert all(r["rollout_backend"] == "scalar" for r in payload["rows"])
         import json
 
-        json.dumps(payload)  # must be JSON-serializable as-is
+        json.dumps(payload, allow_nan=False)  # strict-JSON-serializable as-is
