@@ -17,10 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.battery.aging import AgingModel
 from repro.battery.electrical import BatteryElectrical
 from repro.battery.params import CellParams, NCR18650A
 from repro.battery.thermal import heat_generation_w
+from repro.utils.units import ah_to_coulomb
 from repro.utils.validation import check_in_range, check_positive
 
 
@@ -309,3 +312,134 @@ class BatteryPack:
         check_in_range(soc_percent, 0.0, 100.0, "soc_percent")
         self._state = PackState(soc_percent=soc_percent, temp_k=temp_k)
         self._aging.reset()
+
+
+# ---------------------------------------------------------------------- #
+# lockstep (struct-of-arrays) twin
+
+
+@dataclass(frozen=True)
+class PackStepBatch:
+    """Vectorized :class:`PackStepResult`: one array entry per scenario."""
+
+    cell_current_a: np.ndarray
+    terminal_power_w: np.ndarray
+    heat_w: np.ndarray
+    chem_energy_j: np.ndarray
+    loss_increment_percent: np.ndarray
+    clipped: np.ndarray
+
+
+class BatteryPackVec:
+    """Struct-of-arrays battery pack advancing M scenarios in lockstep.
+
+    Mirrors :meth:`BatteryPack.apply_power` expression-for-expression (same
+    operation order, branches as masks) so each column of the batch evolves
+    bitwise-identically to a scalar :class:`BatteryPack` run of that
+    scenario.  All M packs share one :class:`PackConfig`; SoC and
+    temperature are per-column state.
+    """
+
+    SOC_MIN = BatteryPack.SOC_MIN
+    SOC_MAX = BatteryPack.SOC_MAX
+
+    def __init__(
+        self,
+        config: PackConfig,
+        initial_soc_percent,
+        initial_temp_k,
+    ):
+        self._config = config
+        self._electrical = BatteryElectrical(config.cell)
+        self._aging = AgingModel(config.cell)
+        soc = np.asarray(initial_soc_percent, dtype=float)
+        temp = np.asarray(initial_temp_k, dtype=float)
+        soc, temp = np.broadcast_arrays(soc, temp)
+        self.soc_percent = soc.astype(float).copy()
+        self.temp_k = temp.astype(float).copy()
+
+    @property
+    def config(self) -> PackConfig:
+        """Pack layout (shared by every column)."""
+        return self._config
+
+    @property
+    def electrical(self) -> BatteryElectrical:
+        """Cell electrical model (shared by every column)."""
+        return self._electrical
+
+    def set_temperature(self, temp_k: np.ndarray):
+        """Update the per-column pack temperatures (cooling loop)."""
+        self.temp_k = temp_k
+
+    def open_circuit_voltage(self) -> np.ndarray:
+        """Pack open-circuit voltage [V] per column."""
+        cell_voc = self._electrical.open_circuit_voltage(self.soc_percent)
+        return self._config.series * cell_voc
+
+    def internal_resistance(self) -> np.ndarray:
+        """Pack internal resistance [Ohm] per column."""
+        cell_r = self._electrical.internal_resistance(self.soc_percent, self.temp_k)
+        return cell_r * self._config.series / self._config.parallel
+
+    def max_discharge_power_w(self) -> np.ndarray:
+        """Pack power ceiling [W] per column (constraint C6)."""
+        i_max = self._config.cell.max_current_a
+        voc = self._electrical.open_circuit_voltage(self.soc_percent)
+        res = self._electrical.internal_resistance(self.soc_percent, self.temp_k)
+        per_cell = i_max * (voc - i_max * res)
+        return np.maximum(0.0, per_cell) * self._config.cell_count
+
+    def apply_power(self, terminal_power_w: np.ndarray, dt: float) -> PackStepBatch:
+        """Vectorized :meth:`BatteryPack.apply_power` over all columns."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        cfg = self._config
+        elec = self._electrical
+        soc, temp = self.soc_percent, self.temp_k
+        per_cell_power = terminal_power_w / cfg.cell_count
+
+        voc = elec.open_circuit_voltage(soc)
+        res = elec.internal_resistance(soc, temp)
+        # current_for_power, elementwise: physical root of I(Voc - I R) = P,
+        # capped at the maximum-power point when the demand exceeds it
+        disc = voc * voc - 4.0 * res * per_cell_power
+        root = np.sqrt(np.maximum(disc, 0.0))
+        cell_i = np.where(
+            disc < 0.0, voc / (2.0 * res), (voc - root) / (2.0 * res)
+        )
+        cell_i = np.where(np.abs(per_cell_power) < 1e-12, 0.0, cell_i)
+
+        limit = cfg.cell.max_current_a
+        clipped = (cell_i > limit) | (cell_i < -limit)
+        cell_i = np.clip(cell_i, -limit, limit)
+
+        # an SoC-floor-limited pack cannot discharge; a full pack cannot charge
+        floor_block = (soc <= self.SOC_MIN) & (cell_i > 0)
+        ceil_block = (soc >= self.SOC_MAX) & (cell_i < 0)
+        blocked = floor_block | ceil_block
+        clipped = clipped | blocked
+        cell_i = np.where(blocked, 0.0, cell_i)
+
+        v_term = voc - cell_i * res
+        realized_power = cell_i * v_term * cfg.cell_count
+
+        # Eq. 4 heat with the same R(SoC, T) evaluation as the scalar path
+        joule = cell_i**2 * res
+        entropic = cell_i * temp * cfg.cell.entropy_coeff_v_per_k
+        heat = np.maximum(0.0, joule + entropic) * cfg.cell_count
+
+        chem_energy = voc * cell_i * dt * cfg.cell_count
+        loss_inc = self._aging.loss_rate(cell_i, temp) * dt
+
+        new_soc = soc - 100.0 * cell_i * dt / ah_to_coulomb(cfg.cell.capacity_ah)
+        self.soc_percent = np.minimum(self.SOC_MAX, np.maximum(0.0, new_soc))
+
+        return PackStepBatch(
+            cell_current_a=cell_i,
+            terminal_power_w=realized_power,
+            heat_w=heat,
+            chem_energy_j=chem_energy,
+            loss_increment_percent=loss_inc,
+            clipped=clipped,
+        )

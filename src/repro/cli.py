@@ -117,6 +117,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-scenario wall-clock budget [s] (parallel mode)",
     )
     batch.add_argument(
+        "--engine-backend",
+        choices=("auto", "lockstep", "scalar"),
+        default="auto",
+        help=(
+            "simulation engine: 'auto' (default) runs baseline cells that "
+            "share an architecture in one vectorized lockstep batch and "
+            "keeps MPC/singleton cells on the scalar engine; 'lockstep' "
+            "forces every supported cell onto the batched engine; 'scalar' "
+            "forces the per-cell engine everywhere"
+        ),
+    )
+    batch.add_argument(
         "--json",
         dest="json_path",
         default=None,
@@ -271,7 +283,11 @@ def cmd_batch(args, out) -> int:
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     result = run_batch(
-        scenarios, workers=args.workers, cache=cache, timeout_s=args.timeout
+        scenarios,
+        workers=args.workers,
+        cache=cache,
+        timeout_s=args.timeout,
+        execution=args.engine_backend,
     )
 
     print(

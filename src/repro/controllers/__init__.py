@@ -16,6 +16,9 @@ Public API
     Baseline [16]: dual architecture, temperature-threshold switching.
 ``NoisyObservations`` / ``CoolingFailure``
     Robustness / failure-injection wrappers around any policy.
+``build_batched_controller`` / ``BatchDecision``
+    Struct-of-arrays twins of the four baselines for the lockstep engine
+    (:mod:`repro.sim.engine_vec`).
 """
 
 from repro.controllers.base import Architecture, Controller, Decision, Observation
@@ -24,9 +27,12 @@ from repro.controllers.cooling_only import CoolingOnlyController
 from repro.controllers.dual_threshold import DualThresholdController
 from repro.controllers.wrappers import CoolingFailure, NoisyObservations
 from repro.controllers.heuristic import HybridHeuristicController
+from repro.controllers.batched import BatchDecision, build_batched_controller
 
 __all__ = [
     "HybridHeuristicController",
+    "BatchDecision",
+    "build_batched_controller",
     "Architecture",
     "Controller",
     "Decision",

@@ -1,0 +1,289 @@
+"""Lockstep (struct-of-arrays) twins of the baseline controllers.
+
+Each batched policy advances M scenario columns per call and mirrors its
+scalar counterpart decision-for-decision: hysteresis latches become boolean
+state arrays, mode selection becomes integer-code arrays, and every branch
+is re-expressed as a mask over columns.  Because each column's state update
+uses exactly the scalar expressions, a column of a lockstep run matches the
+corresponding scalar run bitwise.
+
+Only the four baselines are represented - the MPC methodologies (OTEM)
+carry a solver per scenario and stay on the scalar
+:class:`repro.sim.engine.Simulator` path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.controllers.base import Architecture
+from repro.cooling.coolant import DEFAULT_COOLANT, CoolantParams
+from repro.hees.dual import DualHEESVec
+
+
+@dataclass(frozen=True)
+class BatchDecision:
+    """Vectorized :class:`repro.controllers.base.Decision`.
+
+    Attributes
+    ----------
+    cap_bus_w:
+        Hybrid architecture: per-column ultracap bus-power commands [W].
+    dual_mode:
+        Dual architecture: per-column switch codes
+        (:attr:`repro.hees.dual.DualHEESVec.MODE_BATTERY` & co.).
+    recharge_power_w:
+        Dual architecture: per-column battery->bank recharge power [W].
+    cooling_active:
+        Per-column cooling loop engagement flags.
+    inlet_temp_k:
+        Commanded coolant inlet temperature [K]; scalar because every
+        baseline commands the loop's full-cold inlet, which is uniform
+        within a lockstep group (the coolant is a group key).
+    """
+
+    cap_bus_w: np.ndarray
+    dual_mode: np.ndarray
+    recharge_power_w: np.ndarray
+    cooling_active: np.ndarray
+    inlet_temp_k: float = 298.0
+
+
+def _zeros_decision(m: int, **overrides) -> BatchDecision:
+    base = dict(
+        cap_bus_w=np.zeros(m),
+        dual_mode=np.full(m, DualHEESVec.MODE_BATTERY, dtype=np.int64),
+        recharge_power_w=np.zeros(m),
+        cooling_active=np.zeros(m, dtype=bool),
+    )
+    base.update(overrides)
+    return BatchDecision(**base)
+
+
+class BatchedParallelPassive:
+    """Lockstep twin of :class:`ParallelPassiveController` (no-op)."""
+
+    name = "Parallel [15]"
+    architecture = Architecture.PARALLEL
+    uses_cooling = False
+
+    def __init__(self):
+        self._m = 0
+
+    def reset(self, m: int) -> None:
+        """Size the (stateless) policy for ``m`` columns."""
+        self._m = m
+
+    def control(
+        self,
+        request_w: np.ndarray,
+        battery_temp_k: np.ndarray,
+        cap_soe_percent: np.ndarray,
+    ) -> BatchDecision:
+        """No commands: the circuit does everything."""
+        return _zeros_decision(self._m)
+
+
+class BatchedCoolingOnly:
+    """Lockstep twin of :class:`CoolingOnlyController`."""
+
+    name = "Cooling [25]"
+    architecture = Architecture.BATTERY_ONLY
+    uses_cooling = True
+
+    def __init__(
+        self,
+        temp_on_k: float = 299.15,
+        temp_off_k: float = 296.15,
+        coolant: CoolantParams = DEFAULT_COOLANT,
+    ):
+        if temp_off_k >= temp_on_k:
+            raise ValueError("temp_off_k must be below temp_on_k (hysteresis)")
+        self._on = temp_on_k
+        self._off = temp_off_k
+        self._coolant = coolant
+        self._cooling = np.zeros(0, dtype=bool)
+
+    def reset(self, m: int) -> None:
+        """Disengage every column's thermostat."""
+        self._cooling = np.zeros(m, dtype=bool)
+
+    def control(
+        self,
+        request_w: np.ndarray,
+        battery_temp_k: np.ndarray,
+        cap_soe_percent: np.ndarray,
+    ) -> BatchDecision:
+        """Per-column hysteresis thermostat on battery temperature."""
+        was_on = self._cooling
+        turn_off = was_on & (battery_temp_k <= self._off)
+        turn_on = ~was_on & (battery_temp_k >= self._on)
+        self._cooling = (was_on & ~turn_off) | turn_on
+        return _zeros_decision(
+            len(was_on),
+            cooling_active=self._cooling.copy(),
+            inlet_temp_k=self._coolant.min_inlet_temp_k,
+        )
+
+
+class BatchedDualThreshold:
+    """Lockstep twin of :class:`DualThresholdController`."""
+
+    name = "Dual [16]"
+    architecture = Architecture.DUAL
+    uses_cooling = False
+
+    def __init__(
+        self,
+        temp_switch_k: float = 307.15,
+        temp_resume_k: float = 303.15,
+        soe_floor_percent: float = 22.0,
+        soe_target_percent: float = 95.0,
+        recharge_power_w: float = 3_000.0,
+        recharge_temp_max_k: float = 306.15,
+    ):
+        if temp_resume_k >= temp_switch_k:
+            raise ValueError("temp_resume_k must be below temp_switch_k")
+        if not 0.0 <= soe_floor_percent < soe_target_percent <= 100.0:
+            raise ValueError("need 0 <= soe_floor < soe_target <= 100")
+        self._t_switch = temp_switch_k
+        self._t_resume = temp_resume_k
+        self._soe_floor = soe_floor_percent
+        self._soe_target = soe_target_percent
+        self._recharge_w = recharge_power_w
+        self._recharge_t_max = recharge_temp_max_k
+        self._on_cap = np.zeros(0, dtype=bool)
+
+    def reset(self, m: int) -> None:
+        """Return every column's switch to the battery position."""
+        self._on_cap = np.zeros(m, dtype=bool)
+
+    def control(
+        self,
+        request_w: np.ndarray,
+        battery_temp_k: np.ndarray,
+        cap_soe_percent: np.ndarray,
+    ) -> BatchDecision:
+        """Per-column threshold switching with SoE guard and recharge."""
+        was_on = self._on_cap
+        leave = was_on & (
+            (battery_temp_k <= self._t_resume)
+            | (cap_soe_percent <= self._soe_floor)
+        )
+        enter = (
+            ~was_on
+            & (battery_temp_k >= self._t_switch)
+            & (cap_soe_percent > self._soe_floor)
+        )
+        self._on_cap = (was_on & ~leave) | enter
+
+        recharging = (
+            ~self._on_cap
+            & (cap_soe_percent < self._soe_target)
+            & (battery_temp_k < self._recharge_t_max)
+        )
+        mode = np.where(
+            self._on_cap,
+            DualHEESVec.MODE_ULTRACAP,
+            np.where(
+                recharging, DualHEESVec.MODE_RECHARGE, DualHEESVec.MODE_BATTERY
+            ),
+        )
+        recharge = np.where(recharging, self._recharge_w, 0.0)
+        return _zeros_decision(
+            len(was_on), dual_mode=mode, recharge_power_w=recharge
+        )
+
+
+class BatchedHybridHeuristic:
+    """Lockstep twin of :class:`HybridHeuristicController`."""
+
+    name = "Heuristic hybrid"
+    architecture = Architecture.HYBRID
+    uses_cooling = True
+
+    def __init__(
+        self,
+        smoothing: float = 0.05,
+        recharge_power_w: float = 6_000.0,
+        soe_target_percent: float = 90.0,
+        temp_on_k: float = 302.15,
+        temp_off_k: float = 299.15,
+        coolant: CoolantParams = DEFAULT_COOLANT,
+    ):
+        if temp_off_k >= temp_on_k:
+            raise ValueError("temp_off_k must be below temp_on_k (hysteresis)")
+        self._alpha = smoothing
+        self._recharge_w = recharge_power_w
+        self._soe_target = soe_target_percent
+        self._t_on = temp_on_k
+        self._t_off = temp_off_k
+        self._coolant = coolant
+        self._ema_w: np.ndarray | None = None
+        self._cooling = np.zeros(0, dtype=bool)
+
+    def reset(self, m: int) -> None:
+        """Clear every column's EMA and disengage the thermostats."""
+        self._ema_w = None
+        self._cooling = np.zeros(m, dtype=bool)
+
+    def control(
+        self,
+        request_w: np.ndarray,
+        battery_temp_k: np.ndarray,
+        cap_soe_percent: np.ndarray,
+    ) -> BatchDecision:
+        """Shave peaks above the EMA; thermostat the cooler, per column.
+
+        All columns start the route together, so the scalar policy's
+        first-call EMA seeding happens batch-wide on step 0.
+        """
+        if self._ema_w is None:
+            self._ema_w = np.maximum(request_w, 0.0).astype(float)
+        else:
+            self._ema_w = self._ema_w + self._alpha * (request_w - self._ema_w)
+
+        surplus = request_w - self._ema_w
+        recharge_bus = -np.minimum(
+            self._recharge_w, np.maximum(0.0, -surplus)
+        )
+        cap_bus = np.where(
+            surplus > 0,
+            surplus,
+            np.where(cap_soe_percent < self._soe_target, recharge_bus, 0.0),
+        )
+
+        was_on = self._cooling
+        turn_off = was_on & (battery_temp_k <= self._t_off)
+        turn_on = ~was_on & (battery_temp_k >= self._t_on)
+        self._cooling = (was_on & ~turn_off) | turn_on
+
+        return _zeros_decision(
+            len(was_on),
+            cap_bus_w=cap_bus,
+            cooling_active=self._cooling.copy(),
+            inlet_temp_k=self._coolant.min_inlet_temp_k,
+        )
+
+
+#: methodology name -> batched policy factory (baselines only)
+BATCHED_CONTROLLERS = {
+    "parallel": lambda coolant: BatchedParallelPassive(),
+    "cooling": lambda coolant: BatchedCoolingOnly(coolant=coolant),
+    "dual": lambda coolant: BatchedDualThreshold(),
+    "heuristic": lambda coolant: BatchedHybridHeuristic(coolant=coolant),
+}
+
+
+def build_batched_controller(methodology: str, coolant: CoolantParams):
+    """Instantiate the batched policy for a baseline methodology."""
+    try:
+        factory = BATCHED_CONTROLLERS[methodology]
+    except KeyError:
+        raise ValueError(
+            f"no batched policy for methodology {methodology!r}; "
+            f"lockstep supports {sorted(BATCHED_CONTROLLERS)}"
+        ) from None
+    return factory(coolant)

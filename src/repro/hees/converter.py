@@ -90,6 +90,21 @@ class DCDCConverter:
             return port * eta
         return port / eta
 
+    # ------------------------------------------------------------------ #
+    # lockstep (struct-of-arrays) variants
+
+    def port_power_for_bus_batch(self, bus_power_w, port_voltage_v) -> np.ndarray:
+        """Vectorized :meth:`port_power_for_bus` over column arrays."""
+        eta = self.efficiency(port_voltage_v)
+        port = np.where(bus_power_w >= 0, bus_power_w / eta, bus_power_w * eta)
+        return np.clip(port, -self._p.max_power_w, self._p.max_power_w)
+
+    def bus_power_for_port_batch(self, port_power_w, port_voltage_v) -> np.ndarray:
+        """Vectorized :meth:`bus_power_for_port` over column arrays."""
+        eta = self.efficiency(port_voltage_v)
+        port = np.clip(port_power_w, -self._p.max_power_w, self._p.max_power_w)
+        return np.where(port >= 0, port * eta, port / eta)
+
     def loss_w(self, port_power_w: float, port_voltage_v: float) -> float:
         """Power dissipated in the converter [W] for a port-side flow."""
         bus = self.bus_power_for_port(port_power_w, port_voltage_v)

@@ -19,9 +19,9 @@ import enum
 
 import numpy as np
 
-from repro.battery.pack import BatteryPack
-from repro.hees.state import HEESStepResult
-from repro.ultracap.bank import UltracapBank
+from repro.battery.pack import BatteryPack, BatteryPackVec
+from repro.hees.state import HEESStepBatch, HEESStepResult
+from repro.ultracap.bank import UltracapBank, UltracapBankVec
 from repro.utils.validation import check_in_range, check_positive
 
 
@@ -192,4 +192,145 @@ class DualHEES:
             loss_increment_percent=bat.loss_increment_percent,
             unmet_power_w=unmet,
             notes={"mode": mode.value, "cap_current_a": float(cap_current)},
+        )
+
+
+class DualHEESVec:
+    """Lockstep struct-of-arrays twin of :class:`DualHEES`.
+
+    Takes the switch position as an integer code array (``MODE_*`` class
+    constants) so a batched policy can hand over a whole column of modes.
+    The regen / ultracap-discharge / battery-recharge paths are mutually
+    exclusive per column (regen needs a negative request; the two others
+    need distinct modes), so the scalar plant's up-to-three sequential
+    ``bank.apply_power`` calls collapse into one masked call with the same
+    per-column arguments - columns that take no bank path keep their SoE
+    bit pattern untouched, exactly like the scalar plant not calling the
+    bank at all.
+    """
+
+    MODE_BATTERY = 0
+    MODE_ULTRACAP = 1
+    MODE_RECHARGE = 2
+
+    #: DualMode -> integer code (for batched policies).
+    MODE_CODES = {
+        DualMode.BATTERY: MODE_BATTERY,
+        DualMode.ULTRACAP: MODE_ULTRACAP,
+        DualMode.RECHARGE: MODE_RECHARGE,
+    }
+
+    def __init__(
+        self,
+        pack: BatteryPackVec,
+        bank: UltracapBankVec,
+        recharge_efficiency: float = 0.95,
+    ):
+        self._pack = pack
+        self._bank = bank
+        self._eta_r = check_in_range(
+            recharge_efficiency, 0.5, 1.0, "recharge_efficiency"
+        )
+        full_voc_cell = float(pack.electrical.open_circuit_voltage(100.0))
+        self._vr_eff = pack.config.series * full_voc_cell
+        k = self._vr_eff / bank.rated_voltage_v
+        self._rc = bank.internal_resistance_ohm * k * k
+
+    def cap_voltage(self) -> np.ndarray:
+        """Per-column bank voltage in the re-strung configuration [V]."""
+        return self._vr_eff * np.sqrt(
+            np.maximum(self._bank.soe_percent, 0.0) / 100.0
+        )
+
+    def step(
+        self,
+        request_w: np.ndarray,
+        mode: np.ndarray,
+        recharge_power_w: np.ndarray,
+        dt: float,
+    ) -> HEESStepBatch:
+        """Vectorized :meth:`DualHEES.step` over all columns."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        pack, bank = self._pack, self._bank
+        r_c = self._rc
+
+        max_charge = bank.max_charge_power_w(dt)
+        regen_to_cap = np.where(
+            request_w < 0, np.minimum(-request_w, max_charge), 0.0
+        )
+        v_c = self.cap_voltage()
+        max_point = v_c * v_c / (4.0 * r_c)
+        deliverable = np.minimum(
+            request_w, np.minimum(max_point, bank.max_discharge_power_w(dt))
+        )
+        cap_request = np.where(
+            (request_w >= 0) & (mode == self.MODE_ULTRACAP), deliverable, 0.0
+        )
+        bank_charge = np.where(
+            (mode == self.MODE_RECHARGE)
+            & (recharge_power_w > 0)
+            & (request_w >= 0),
+            np.minimum(
+                recharge_power_w, np.maximum(0.0, max_charge - regen_to_cap)
+            ),
+            0.0,
+        )
+
+        discharging = cap_request > 0
+        regenerating = regen_to_cap > 0
+        charging = bank_charge > 0
+
+        # bank discharge through the series resistance into the load
+        disc = v_c * v_c - 4.0 * r_c * cap_request
+        i_c = (v_c - np.sqrt(np.maximum(disc, 0.0))) / (2.0 * r_c)
+        bank_power = np.where(discharging, v_c * i_c, 0.0)
+        bank_power = bank_power - regen_to_cap * self._eta_r
+        bank_power = bank_power - bank_charge * self._eta_r
+        touched = discharging | regenerating | charging
+        cap = bank.apply_power(bank_power, dt, active=touched)
+
+        cap_energy = cap.energy_j
+        # the recharge path contributes energy only (matches the scalar
+        # bookkeeping, which does not fold it into ultracap_power_w)
+        cap_power = np.where(discharging | regenerating, cap.power_w, 0.0)
+        cap_current = np.where(
+            discharging & (v_c > 1e-6),
+            cap.power_w / np.maximum(v_c, 1e-30),
+            0.0,
+        )
+        circuit_loss = (
+            np.where(discharging, (cap_current**2) * r_c * dt, 0.0)
+            + regen_to_cap * (1.0 - self._eta_r) * dt
+            + bank_charge * (1.0 - self._eta_r) * dt
+        )
+        delivered_by_cap = np.where(
+            discharging, cap.power_w - (cap_current**2) * r_c, 0.0
+        )
+        battery_extra = bank_charge
+
+        battery_request = (
+            request_w + regen_to_cap - delivered_by_cap + battery_extra
+        )
+        bat = pack.apply_power(battery_request, dt)
+
+        delivered = (
+            bat.terminal_power_w - battery_extra - regen_to_cap + delivered_by_cap
+        )
+        unmet = np.where(
+            request_w > 0, np.maximum(0.0, request_w - delivered), 0.0
+        )
+
+        return HEESStepBatch(
+            requested_power_w=request_w,
+            delivered_power_w=delivered,
+            battery_power_w=bat.terminal_power_w,
+            ultracap_power_w=cap_power,
+            battery_cell_current_a=bat.cell_current_a,
+            battery_heat_w=bat.heat_w,
+            chem_energy_j=bat.chem_energy_j,
+            cap_energy_j=cap_energy,
+            converter_loss_j=circuit_loss,
+            loss_increment_percent=bat.loss_increment_percent,
+            unmet_power_w=unmet,
         )

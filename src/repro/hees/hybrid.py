@@ -18,10 +18,12 @@ controller routes them to.
 
 from __future__ import annotations
 
-from repro.battery.pack import BatteryPack
+import numpy as np
+
+from repro.battery.pack import BatteryPack, BatteryPackVec
 from repro.hees.converter import ConverterParams, DCDCConverter
-from repro.hees.state import HEESStepResult
-from repro.ultracap.bank import UltracapBank, UltracapStepResult
+from repro.hees.state import HEESStepBatch, HEESStepResult
+from repro.ultracap.bank import UltracapBank, UltracapBankVec, UltracapStepResult
 
 
 def default_battery_converter(pack: BatteryPack) -> DCDCConverter:
@@ -191,4 +193,117 @@ class HybridHEES:
             loss_increment_percent=bat.loss_increment_percent,
             unmet_power_w=unmet,
             notes={"cap_bus_w": float(cap_bus_real), "battery_bus_w": float(bat_bus_real)},
+        )
+
+
+class HybridHEESVec:
+    """Lockstep struct-of-arrays twin of :class:`HybridHEES`.
+
+    The converter ports are shared across columns: every bank produced by
+    :func:`repro.ultracap.params.bank_of_farads` keeps the module rated
+    voltage and power rating, so one cap-port converter serves mixed bank
+    sizes, and the pack layout (hence the battery-port converter) is a
+    lockstep group key.  The main bank call is unconditional - the scalar
+    plant also rounds the SoE through ``apply_power`` at zero command - and
+    the reserve-tap emergency pass is masked on ``unmet > 1``.
+    """
+
+    def __init__(
+        self,
+        pack: BatteryPackVec,
+        bank: UltracapBankVec,
+        battery_converter: DCDCConverter,
+        cap_converter: DCDCConverter,
+    ):
+        self._pack = pack
+        self._bank = bank
+        self._bat_conv = battery_converter
+        self._cap_conv = cap_converter
+
+    def cap_bus_limits(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
+        """Per-column (min, max) feasible ultracap bus-power command."""
+        v = self._bank.voltage()
+        eta = self._cap_conv.efficiency(v)
+        discharge = np.minimum(
+            self._bank.max_discharge_power_w(dt) * eta,
+            self._cap_conv.params.max_power_w * eta,
+        )
+        # eta is clipped to eta_min > 0, so the scalar plant's eta > 0
+        # guard never fires; plain division mirrors it
+        charge = np.minimum(
+            self._bank.max_charge_power_w(dt) / eta,
+            self._cap_conv.params.max_power_w / eta,
+        )
+        return (-charge, discharge)
+
+    def step(
+        self, request_w: np.ndarray, cap_bus_command_w: np.ndarray, dt: float
+    ) -> HEESStepBatch:
+        """Vectorized :meth:`HybridHEES.step` over all columns."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        pack, bank = self._pack, self._bank
+
+        lo, hi = self.cap_bus_limits(dt)
+        v_pack_now = pack.open_circuit_voltage()
+        bat_max_bus = self._bat_conv.bus_power_for_port_batch(
+            pack.max_discharge_power_w(), v_pack_now
+        )
+        headroom = bat_max_bus - np.maximum(request_w, 0.0)
+        lo = np.minimum(0.0, np.maximum(lo, -np.maximum(headroom, 0.0)))
+        cap_bus = np.minimum(np.maximum(cap_bus_command_w, lo), hi)
+
+        v_cap = bank.voltage()
+        cap_port = self._cap_conv.port_power_for_bus_batch(cap_bus, v_cap)
+        cap = bank.apply_power(cap_port, dt)
+        cap_bus_real = self._cap_conv.bus_power_for_port_batch(cap.power_w, v_cap)
+        cap_conv_loss = np.abs(cap.power_w - cap_bus_real)
+
+        battery_bus = request_w - cap_bus_real
+        v_pack = pack.open_circuit_voltage()
+        bat_port = self._bat_conv.port_power_for_bus_batch(battery_bus, v_pack)
+        bat = pack.apply_power(bat_port, dt)
+        bat_bus_real = self._bat_conv.bus_power_for_port_batch(
+            bat.terminal_power_w, v_pack
+        )
+        bat_conv_loss = np.abs(bat.terminal_power_w - bat_bus_real)
+
+        delivered = cap_bus_real + bat_bus_real
+        unmet = np.where(
+            request_w > 0, np.maximum(0.0, request_w - delivered), 0.0
+        )
+
+        cap_power = cap.power_w
+        cap_energy = cap.energy_j
+        em = unmet > 1.0
+        if np.any(em):
+            extra_port = self._cap_conv.port_power_for_bus_batch(unmet, v_cap)
+            extra = bank.apply_power(extra_port, dt, tap_reserve=True, active=em)
+            extra_bus = self._cap_conv.bus_power_for_port_batch(
+                extra.power_w, v_cap
+            )
+            extra_bus = np.where(em, extra_bus, 0.0)
+            cap_conv_loss = cap_conv_loss + np.where(
+                em, np.abs(extra.power_w - extra_bus), 0.0
+            )
+            cap_power = cap_power + extra.power_w
+            cap_energy = cap_energy + extra.energy_j
+            cap_bus_real = cap_bus_real + extra_bus
+            delivered = delivered + extra_bus
+            unmet = np.where(
+                em, np.maximum(0.0, request_w - delivered), unmet
+            )
+
+        return HEESStepBatch(
+            requested_power_w=request_w,
+            delivered_power_w=delivered,
+            battery_power_w=bat.terminal_power_w,
+            ultracap_power_w=cap_power,
+            battery_cell_current_a=bat.cell_current_a,
+            battery_heat_w=bat.heat_w,
+            chem_energy_j=bat.chem_energy_j,
+            cap_energy_j=cap_energy,
+            converter_loss_j=(cap_conv_loss + bat_conv_loss) * dt,
+            loss_increment_percent=bat.loss_increment_percent,
+            unmet_power_w=unmet,
         )

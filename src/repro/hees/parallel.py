@@ -25,9 +25,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.battery.pack import BatteryPack
-from repro.hees.state import HEESStepResult
-from repro.ultracap.bank import UltracapBank
+from repro.battery.pack import BatteryPack, BatteryPackVec
+from repro.hees.state import HEESStepBatch, HEESStepResult
+from repro.ultracap.bank import UltracapBank, UltracapBankVec
 from repro.utils.validation import check_positive
 
 
@@ -164,4 +164,94 @@ class ParallelHEES:
             loss_increment_percent=bat.loss_increment_percent,
             unmet_power_w=unmet,
             notes={"load_voltage_v": float(v_l)},
+        )
+
+
+class ParallelHEESVec:
+    """Lockstep struct-of-arrays twin of :class:`ParallelHEES`.
+
+    Advances M parallel-architecture scenarios per step; the circuit split
+    (Eq. 10-13), the pack-clip residual handoff, and the re-strung-bank
+    bookkeeping mirror the scalar plant branch-for-branch (as masks), so
+    every column matches a scalar run bitwise.  Bank sizes may differ per
+    column; the pack layout is shared.
+    """
+
+    def __init__(self, pack: BatteryPackVec, bank: UltracapBankVec):
+        self._pack = pack
+        self._bank = bank
+        full_voc_cell = float(pack.electrical.open_circuit_voltage(100.0))
+        self._vr_eff = pack.config.series * full_voc_cell
+        k = self._vr_eff / bank.rated_voltage_v
+        self._rc = bank.internal_resistance_ohm * k * k
+        self.sync_soe_to_battery()
+
+    def cap_voltage(self) -> np.ndarray:
+        """Per-column bank voltage in the re-strung configuration [V]."""
+        return self._vr_eff * np.sqrt(
+            np.maximum(self._bank.soe_percent, 0.0) / 100.0
+        )
+
+    def sync_soe_to_battery(self) -> None:
+        """Pre-charge every bank to its battery's open-circuit voltage."""
+        voc = self._pack.open_circuit_voltage()
+        soe = 100.0 * (voc / self._vr_eff) ** 2
+        self._bank.reset(np.minimum(100.0, soe))
+
+    def step(self, request_w: np.ndarray, dt: float) -> HEESStepBatch:
+        """Vectorized :meth:`ParallelHEES.step` over all columns."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        pack, bank = self._pack, self._bank
+
+        v_b = pack.open_circuit_voltage()
+        r_b = pack.internal_resistance()
+        v_c = self.cap_voltage()
+        r_c = self._rc
+
+        g = 1.0 / r_b + 1.0 / r_c
+        s = v_b / r_b + v_c / r_c
+        disc = s * s - 4.0 * g * request_w
+        v_l = np.where(
+            disc < 0.0,
+            s / (2.0 * g),
+            (s + np.sqrt(np.maximum(disc, 0.0))) / (2.0 * g),
+        )
+
+        i_b = (v_b - v_l) / r_b
+        i_c = (v_c - v_l) / r_c
+
+        bat = pack.apply_power(i_b * v_l, dt)
+
+        residual_i = np.where(
+            v_l > 1e-6,
+            (request_w - bat.terminal_power_w) / np.where(v_l > 1e-6, v_l, 1.0),
+            0.0,
+        )
+        i_c = np.where(bat.clipped, residual_i, i_c)
+
+        cap = bank.apply_power(v_c * i_c, dt)
+        i_c_real = np.where(
+            v_c > 1e-6, cap.power_w / np.maximum(v_c, 1e-30), 0.0
+        )
+        realized_cap_bus = cap.power_w - (i_c_real**2) * r_c
+
+        delivered = bat.terminal_power_w + realized_cap_bus
+        unmet = np.where(
+            request_w > 0, np.maximum(0.0, request_w - delivered), 0.0
+        )
+        circuit_loss = (i_c_real**2) * r_c * dt
+
+        return HEESStepBatch(
+            requested_power_w=request_w,
+            delivered_power_w=delivered,
+            battery_power_w=bat.terminal_power_w,
+            ultracap_power_w=cap.power_w,
+            battery_cell_current_a=bat.cell_current_a,
+            battery_heat_w=bat.heat_w,
+            chem_energy_j=bat.chem_energy_j,
+            cap_energy_j=cap.energy_j,
+            converter_loss_j=circuit_loss,
+            loss_increment_percent=bat.loss_increment_percent,
+            unmet_power_w=unmet,
         )

@@ -17,6 +17,9 @@ Public API
     One-call convenience wrapper (controller + cycle + sizing -> result).
 ``run_batch`` / ``scenario_grid`` / ``BatchResult`` / ``ResultCache``
     Parallel execution of scenario grids with content-addressed caching.
+``run_lockstep`` / ``lockstep_supported``
+    The vectorized lockstep engine: baseline ensembles advance as one
+    struct-of-arrays batch (``run_batch(execution="auto")`` uses it).
 """
 
 from repro.sim.trace import Trace, TraceRecorder
@@ -30,6 +33,12 @@ from repro.sim.batch import (
     run_batch,
     scenario_fingerprint,
     scenario_grid,
+)
+from repro.sim.engine_vec import (
+    lockstep_key,
+    lockstep_supported,
+    run_lockstep,
+    run_lockstep_group,
 )
 
 __all__ = [
@@ -48,4 +57,8 @@ __all__ = [
     "run_batch",
     "scenario_fingerprint",
     "scenario_grid",
+    "lockstep_key",
+    "lockstep_supported",
+    "run_lockstep",
+    "run_lockstep_group",
 ]

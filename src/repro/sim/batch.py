@@ -15,7 +15,13 @@ SummaryMetrics` into a :class:`BatchResult`:
   (a cell that exceeds it is marked failed and abandoned);
 * **content-addressed caching** - an on-disk store keyed by a fingerprint
   of the full scenario (controller, pack, vehicle, coolant, weights, MPC
-  knobs), so repeated sweeps and CI re-runs skip already-computed cells.
+  knobs) plus the engine backend assigned to the cell, so repeated sweeps
+  and CI re-runs skip already-computed cells;
+* **lockstep vectorization** - baseline-methodology cells that share an
+  architecture are batched onto the struct-of-arrays engine
+  (:mod:`repro.sim.engine_vec`), advancing the whole group per NumPy step
+  instead of per-cell Python loops; MPC cells and singleton groups stay on
+  the scalar engine (``execution="auto"``).
 
 Serial execution (``workers=0``) goes through exactly the same cell
 runner, so parallel results are bitwise identical to serial ones (see
@@ -35,13 +41,19 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.core.mpc import SolverStats
+from repro.sim.engine_vec import lockstep_key, lockstep_supported, run_lockstep
 from repro.sim.metrics import SummaryMetrics
 from repro.sim.scenario import Scenario, run_scenario
 
 #: Bump when the cached payload layout or the simulation semantics change
 #: in a way that must invalidate existing cache entries.
 #: 2: SolverStats gained ``backend``; Scenario gained ``rollout_backend``.
-CACHE_SCHEMA = 2
+#: 3: CellPayload gained ``engine_backend``; fingerprints include the
+#:    engine backend assigned to the cell (lockstep engine added).
+CACHE_SCHEMA = 3
+
+#: Accepted ``run_batch(execution=...)`` modes.
+EXECUTION_MODES = ("auto", "lockstep", "scalar")
 
 #: Default cache directory (created on first use; gitignored).
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -51,19 +63,26 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 # fingerprinting
 
 
-def scenario_fingerprint(scenario: Scenario) -> str:
+def scenario_fingerprint(scenario: Scenario, engine_backend: str = "scalar") -> str:
     """Content hash of everything that determines a scenario's result.
 
     Recursively serializes the scenario's dataclass tree (pack, vehicle,
     coolant, weights, MPC knobs included) into canonical JSON and hashes
-    it together with the cache schema and the package version, so any
-    parameter change - however deep - yields a different key.
+    it together with the cache schema, the package version, and the engine
+    backend the cell is assigned to, so any parameter change - however
+    deep - yields a different key.  The backend is part of the key because
+    lockstep results match scalar ones only to ~1e-15 relative (transcen-
+    dental SIMD kernels), and a cache must never blur which engine
+    produced a number.  Assignment is decided from the full input grid
+    *before* any cache lookup, so fingerprints are deterministic for a
+    given ``run_batch`` call regardless of cache state.
     """
     import repro  # late: repro/__init__ may still be executing at import time
 
     payload = {
         "schema": CACHE_SCHEMA,
         "version": repro.__version__,
+        "engine_backend": engine_backend,
         "scenario": dataclasses.asdict(scenario),
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
@@ -76,13 +95,19 @@ def scenario_fingerprint(scenario: Scenario) -> str:
 
 @dataclass(frozen=True)
 class CellPayload:
-    """Picklable result of one scenario run (no trace - summaries only)."""
+    """Picklable result of one scenario run (no trace - summaries only).
+
+    ``engine_backend`` records which engine computed the cell
+    (``"scalar"`` or ``"lockstep"``); lockstep cells report their share of
+    the group wall time (group wall / group size) as ``wall_s``.
+    """
 
     controller_name: str
     cycle_name: str
     metrics: SummaryMetrics
     solver: SolverStats | None
     wall_s: float
+    engine_backend: str = "scalar"
 
 
 @dataclass(frozen=True)
@@ -91,7 +116,8 @@ class BatchCell:
 
     ``metrics`` is ``None`` exactly when ``error`` is set; ``cached`` marks
     cells served from the result cache (their ``wall_s`` is the original
-    compute time, not the lookup time).
+    compute time, not the lookup time).  ``engine_backend`` names the
+    engine that computed the cell (``"scalar"`` or ``"lockstep"``).
     """
 
     index: int
@@ -103,6 +129,7 @@ class BatchCell:
     wall_s: float = 0.0
     cached: bool = False
     error: str | None = None
+    engine_backend: str = "scalar"
 
     @property
     def ok(self) -> bool:
@@ -201,7 +228,10 @@ class BatchResult:
     cache_misses: int = 0
     #: How the cells actually executed: ``"serial"`` (requested),
     #: ``"process-pool"``, or ``"serial-fallback"`` (parallel requested but
-    #: degraded because the host has a single CPU).
+    #: degraded because the host has a single CPU).  When the lockstep
+    #: engine handled cells, the string is ``"lockstep"`` (every cell
+    #: lockstep-assigned) or a ``"lockstep+<scalar mode>"`` composition
+    #: (mixed grids, or lockstep groups that fell back to scalar cells).
     methodology: str = "serial"
 
     def __len__(self) -> int:
@@ -256,6 +286,7 @@ class BatchResult:
                 "controller": cell.controller_name,
                 "wall_s": cell.wall_s,
                 "cached": cell.cached,
+                "engine_backend": cell.engine_backend,
                 "error": cell.error,
             }
             if cell.metrics is not None:
@@ -287,6 +318,27 @@ class BatchResult:
         }
 
 
+def _lockstep_assignment(scenarios: list, execution: str) -> set:
+    """Indices of the cells the lockstep engine should compute.
+
+    ``"scalar"`` assigns none; ``"lockstep"`` assigns every supported cell
+    (MPC cells always stay scalar); ``"auto"`` assigns supported cells
+    whose architecture group has at least two members - a singleton group
+    gains nothing from vectorization, so it stays on the scalar engine.
+    The decision uses only the input grid, never the cache state, so the
+    per-cell fingerprints are deterministic.
+    """
+    if execution == "scalar":
+        return set()
+    supported = [i for i, s in enumerate(scenarios) if lockstep_supported(s)]
+    if execution == "lockstep":
+        return set(supported)
+    groups: dict = {}
+    for i in supported:
+        groups.setdefault(lockstep_key(scenarios[i]), []).append(i)
+    return {i for idx in groups.values() if len(idx) >= 2 for i in idx}
+
+
 def run_batch(
     scenarios: Iterable[Scenario] | Sequence[Scenario],
     workers: int = 0,
@@ -294,6 +346,7 @@ def run_batch(
     cache_dir: str | os.PathLike | None = None,
     timeout_s: float | None = None,
     on_cell: Callable[[BatchCell], None] | None = None,
+    execution: str = "auto",
 ) -> BatchResult:
     """Run a grid of scenarios, optionally in parallel and cached.
 
@@ -309,18 +362,28 @@ def run_batch(
         serial execution (pool spawn overhead cannot pay off there - see
         the sub-1.0 "parallel_speedup" it produced in BENCH_batch.json);
         the degradation is visible as ``BatchResult.methodology ==
-        "serial-fallback"``.
+        "serial-fallback"``.  Workers only ever compute scalar-assigned
+        cells; lockstep groups run in-process (they are one NumPy loop).
     cache / cache_dir:
         Pass a :class:`ResultCache` (or just a directory) to skip cells
         whose fingerprint is already stored and to store fresh results.
         ``None`` (default) disables caching.
     timeout_s:
-        Best-effort per-cell wall-clock budget (parallel mode only): a
+        Best-effort per-cell wall-clock budget (scalar pool mode only): a
         cell still pending that long after its turn comes up is marked
         failed with a timeout error and abandoned.
     on_cell:
         Progress callback invoked with each finished :class:`BatchCell`
         in completion order (serial mode: submission order).
+    execution:
+        Engine selection: ``"auto"`` (default) routes baseline-methodology
+        cells with at least one architecture-mate onto the lockstep
+        struct-of-arrays engine and everything else onto the scalar
+        engine; ``"lockstep"`` forces every supported cell onto the
+        lockstep engine; ``"scalar"`` forces the scalar engine for all
+        cells (pre-lockstep behavior).  A lockstep group that fails re-
+        routes its cells to the scalar path one-by-one, preserving crash
+        isolation.
 
     Returns
     -------
@@ -330,17 +393,26 @@ def run_batch(
     scenarios = list(scenarios)
     if workers < 0:
         raise ValueError("workers must be >= 0")
-    methodology = "serial"
+    if execution not in EXECUTION_MODES:
+        raise ValueError(
+            f"unknown execution mode {execution!r}; choose from {EXECUTION_MODES}"
+        )
+    scalar_methodology = "serial"
     if workers >= 2:
         if (os.cpu_count() or 1) <= 1:
             workers = 1
-            methodology = "serial-fallback"
+            scalar_methodology = "serial-fallback"
         else:
-            methodology = "process-pool"
+            scalar_methodology = "process-pool"
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
     hits0 = cache.hits if cache else 0
     misses0 = cache.misses if cache else 0
+
+    lockstep_cells = _lockstep_assignment(scenarios, execution)
+
+    def backend_of(index: int) -> str:
+        return "lockstep" if index in lockstep_cells else "scalar"
 
     start = time.perf_counter()
     cells: list = [None] * len(scenarios)
@@ -362,6 +434,7 @@ def run_batch(
             cycle_name=payload.cycle_name,
             wall_s=payload.wall_s,
             cached=cached,
+            engine_backend=getattr(payload, "engine_backend", "scalar"),
         )
 
     # serve cache hits first; collect the cells that actually need compute
@@ -369,7 +442,7 @@ def run_batch(
     keys: dict = {}
     for i, scenario in enumerate(scenarios):
         if cache is not None:
-            keys[i] = scenario_fingerprint(scenario)
+            keys[i] = scenario_fingerprint(scenario, engine_backend=backend_of(i))
             payload = cache.get(keys[i])
             if payload is not None:
                 finish(i, from_payload(i, payload, cached=True))
@@ -387,16 +460,60 @@ def run_batch(
             cache.put(keys[index], payload)
         finish(index, from_payload(index, payload, cached=False))
 
+    lock_pending = [i for i in pending if i in lockstep_cells]
+    scalar_pending = [i for i in pending if i not in lockstep_cells]
+
+    # lockstep groups first (in-process, one NumPy loop per group); a group
+    # that fails re-routes its cells to the scalar path below, where each
+    # cell is crash-isolated individually
+    if lock_pending:
+        groups: dict = {}
+        for i in lock_pending:
+            groups.setdefault(lockstep_key(scenarios[i]), []).append(i)
+        for indices in groups.values():
+            t0 = time.perf_counter()
+            try:
+                results = run_lockstep([scenarios[i] for i in indices])
+            except Exception:  # noqa: BLE001 - fall back, isolate per cell
+                for i in indices:
+                    lockstep_cells.discard(i)
+                    if cache is not None:
+                        keys[i] = scenario_fingerprint(
+                            scenarios[i], engine_backend="scalar"
+                        )
+                        payload = cache.get(keys[i])
+                        if payload is not None:
+                            finish(i, from_payload(i, payload, cached=True))
+                            continue
+                    scalar_pending.append(i)
+                continue
+            per_cell_s = (time.perf_counter() - t0) / len(indices)
+            for i, result in zip(indices, results):
+                complete(
+                    i,
+                    CellPayload(
+                        controller_name=result.controller_name,
+                        cycle_name=result.cycle_name,
+                        metrics=result.metrics,
+                        solver=result.solver,
+                        wall_s=per_cell_s,
+                        engine_backend="lockstep",
+                    ),
+                    None,
+                )
+        scalar_pending.sort()
+
     if workers <= 1:
-        for i in pending:
+        for i in scalar_pending:
             payload, error = _guarded_cell(scenarios[i])
             complete(i, payload, error)
-    elif pending:
+    elif scalar_pending:
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                i: pool.submit(_guarded_cell, scenarios[i]) for i in pending
+                i: pool.submit(_guarded_cell, scenarios[i])
+                for i in scalar_pending
             }
-            for i in pending:
+            for i in scalar_pending:
                 try:
                     payload, error = futures[i].result(timeout=timeout_s)
                 except concurrent.futures.TimeoutError:
@@ -405,6 +522,14 @@ def run_batch(
                 except concurrent.futures.process.BrokenProcessPool as exc:
                     payload, error = None, f"worker died: {exc}"
                 complete(i, payload, error)
+
+    if lockstep_cells:
+        if len(lockstep_cells) == len(scenarios):
+            methodology = "lockstep"
+        else:
+            methodology = f"lockstep+{scalar_methodology}"
+    else:
+        methodology = scalar_methodology
 
     return BatchResult(
         cells=tuple(cells),

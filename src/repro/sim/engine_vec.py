@@ -1,0 +1,275 @@
+"""Lockstep multi-scenario simulation engine.
+
+The scalar :class:`repro.sim.engine.Simulator` advances one scenario at a
+time; batch sweeps (Monte-Carlo ensembles, bank-size grids) run the same
+controller over dozens of near-identical routes.  This module advances all
+of them *simultaneously*: every piece of state (SoC, SoE, temperatures,
+thermostat latches) is a struct-of-arrays column vector and each timestep is
+one NumPy pass over the whole batch, so the Python interpreter executes one
+loop iteration per *timestep* instead of one per timestep per scenario.
+
+Equivalence contract
+--------------------
+Every model twin (``BatteryPackVec``, ``UltracapBankVec``, the plant and
+cooling twins, the batched policies) mirrors its scalar counterpart
+expression-for-expression, with branches re-expressed as ``np.where`` masks
+that never round-trip untouched state.  A column of a lockstep run is
+therefore bitwise-identical to the scalar run of that scenario - verified
+channel-by-channel in ``tests/sim/test_engine_vec.py`` - except for two
+bookkeeping-only channels (``loss_increment_percent``, ``converter_loss_j``)
+where NumPy's vectorized and scalar libm paths can round ``pow``/``exp``
+one ulp apart (~1e-15 relative); neither feeds back into the dynamics, so
+the difference never cascades.
+
+Scope
+-----
+Only the four baseline methodologies are vectorizable
+(:data:`LOCKSTEP_METHODOLOGIES`): their policies are closed-form per step.
+OTEM carries a per-scenario MPC solver and stays on the scalar engine.
+Scenarios mix freely within a group as long as the architecture-defining
+fields match (:func:`lockstep_key`); cycle lengths may be ragged - columns
+are zero-padded to the longest route and truncated on output, which is
+exact because no operation couples columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.battery.pack import BatteryPackVec
+from repro.controllers.base import Architecture
+from repro.controllers.batched import BATCHED_CONTROLLERS, build_batched_controller
+from repro.cooling.loop import CoolingLoop
+from repro.drivecycle.library import get_cycle
+from repro.hees.dual import DualHEESVec
+from repro.hees.hybrid import (
+    HybridHEESVec,
+    default_battery_converter,
+    default_cap_converter,
+)
+from repro.hees.parallel import ParallelHEESVec
+from repro.sim.engine import SimulationResult
+from repro.sim.metrics import compute_metrics
+from repro.sim.scenario import Scenario
+from repro.sim.trace import CHANNELS, Trace
+from repro.ultracap.bank import UltracapBank, UltracapBankVec
+from repro.vehicle.powertrain import Powertrain, PowerRequest
+
+#: Methodologies the lockstep engine can vectorize (closed-form policies).
+LOCKSTEP_METHODOLOGIES = frozenset(BATCHED_CONTROLLERS)
+
+
+def lockstep_supported(scenario: Scenario) -> bool:
+    """Whether ``scenario`` can run on the lockstep engine."""
+    return scenario.methodology in LOCKSTEP_METHODOLOGIES
+
+
+def lockstep_key(scenario: Scenario):
+    """Grouping key: scenarios sharing it can share one lockstep batch.
+
+    The methodology fixes the controller and plant twin; the pack layout is
+    shared pack state; the coolant parametrizes the loop and the batched
+    thermostats.  Bank size, vehicle, initial temperature, cycle, repeat
+    count, and perturbation seed all vary freely per column.
+    """
+    return (scenario.methodology, scenario.pack, scenario.coolant)
+
+
+def build_request(scenario: Scenario) -> PowerRequest:
+    """The power-request trace ``scenario`` implies (as in ``run_scenario``)."""
+    cycle = get_cycle(scenario.cycle, repeat=scenario.repeat)
+    if scenario.perturb_seed is not None:
+        from repro.drivecycle.perturb import perturbed
+
+        cycle = perturbed(cycle, scenario.perturb_seed)
+    return Powertrain(scenario.vehicle).power_request(cycle)
+
+
+def _build_plant(arch: Architecture, scenarios, pack, bank):
+    if arch is Architecture.PARALLEL:
+        return ParallelHEESVec(pack, bank)
+    if arch is Architecture.DUAL or arch is Architecture.BATTERY_ONLY:
+        return DualHEESVec(pack, bank)
+    if arch is Architecture.HYBRID:
+        # one converter pair serves the whole group: every bank produced by
+        # bank_of_farads shares the module rating the cap converter is
+        # built from, and the pack layout is a group key
+        ratings = {
+            (p.rated_voltage_v, p.max_power_w)
+            for p in (s.cap_params() for s in scenarios)
+        }
+        if len(ratings) > 1:
+            raise ValueError(
+                "hybrid lockstep group mixes bank module ratings; "
+                "run these scenarios on the scalar engine"
+            )
+        ref_bank = UltracapBank(scenarios[0].cap_params())
+        return HybridHEESVec(
+            pack,
+            bank,
+            battery_converter=default_battery_converter(pack),
+            cap_converter=default_cap_converter(ref_bank),
+        )
+    raise ValueError(f"unknown architecture {arch}")
+
+
+def run_lockstep_group(
+    scenarios: list[Scenario], requests: list[PowerRequest] | None = None
+) -> list[SimulationResult]:
+    """Advance one homogeneous group of scenarios in lockstep.
+
+    All scenarios must share :func:`lockstep_key` and their requests must
+    share ``dt`` (use :func:`run_lockstep` to group arbitrary sets).
+    Returns one :class:`SimulationResult` per scenario, index-aligned.
+    """
+    if not scenarios:
+        return []
+    if requests is None:
+        requests = [build_request(s) for s in scenarios]
+    first = scenarios[0]
+    if any(lockstep_key(s) != lockstep_key(first) for s in scenarios):
+        raise ValueError("lockstep group mixes methodology/pack/coolant")
+    dt = requests[0].dt
+    if any(r.dt != dt for r in requests):
+        raise ValueError("lockstep group mixes sample periods")
+
+    m = len(scenarios)
+    lengths = np.array([len(r) for r in requests])
+    t_max = int(lengths.max())
+    # ragged routes: zero-pad to the longest column; finished columns keep
+    # simulating at zero request (no cross-column coupling) and their trace
+    # is truncated below, so the padding never leaks into results
+    power = np.zeros((t_max, m))
+    for j, r in enumerate(requests):
+        power[: len(r), j] = r.power_w
+
+    controller = build_batched_controller(first.methodology, first.coolant)
+    controller.reset(m)
+    arch = controller.architecture
+
+    pack = BatteryPackVec(
+        first.pack,
+        initial_soc_percent=100.0,
+        initial_temp_k=np.array([s.initial_temp_k for s in scenarios]),
+    )
+    bank = UltracapBankVec(
+        [s.cap_params() for s in scenarios], initial_soe_percent=100.0
+    )
+    plant = _build_plant(arch, scenarios, pack, bank)
+    loop = CoolingLoop(first.coolant, first.pack.heat_capacity_j_per_k)
+
+    coolant_temp = pack.temp_k.copy()
+    passive = arch in (Architecture.PARALLEL, Architecture.DUAL)
+    battery_only_mode = np.full(m, DualHEESVec.MODE_BATTERY, dtype=np.int64)
+    zeros = np.zeros(m)
+
+    buf = {name: np.empty((t_max, m)) for name in CHANNELS}
+
+    for k in range(t_max):
+        p_e = power[k]
+        decision = controller.control(p_e, pack.temp_k, bank.soe_percent)
+
+        # price the cooling command before the plant step (the cooler
+        # draws from the HEES bus); per-column thermostats may disagree
+        cooling_on = decision.cooling_active
+        inlet = np.where(
+            cooling_on,
+            loop.clamp_inlet_batch(decision.inlet_temp_k, coolant_temp),
+            coolant_temp,
+        )
+        cooling_power = np.where(
+            cooling_on,
+            loop.cooler_power_batch(inlet, coolant_temp)
+            + first.coolant.pump_power_w,
+            0.0,
+        )
+
+        total_request = p_e + cooling_power
+
+        if arch is Architecture.PARALLEL:
+            step = plant.step(total_request, dt)
+        elif arch is Architecture.DUAL:
+            step = plant.step(
+                total_request, decision.dual_mode, decision.recharge_power_w, dt
+            )
+        elif arch is Architecture.BATTERY_ONLY:
+            step = plant.step(total_request, battery_only_mode, zeros, dt)
+        else:  # HYBRID
+            step = plant.step(total_request, decision.cap_bus_w, dt)
+
+        thermal = loop.step_batch(
+            pack.temp_k,
+            coolant_temp,
+            inlet,
+            step.battery_heat_w,
+            dt,
+            cooling_active=cooling_on,
+            passive_ambient=passive,
+        )
+        pack.set_temperature(thermal.battery_temp_k)
+        coolant_temp = thermal.coolant_temp_k
+
+        buf["time_s"][k] = k * dt
+        buf["request_w"][k] = p_e
+        buf["delivered_w"][k] = step.delivered_power_w
+        buf["battery_power_w"][k] = step.battery_power_w
+        buf["cap_power_w"][k] = step.ultracap_power_w
+        buf["cooling_power_w"][k] = thermal.cooler_power_w + thermal.pump_power_w
+        buf["battery_soc_percent"][k] = pack.soc_percent
+        buf["cap_soe_percent"][k] = bank.soe_percent
+        buf["battery_temp_k"][k] = pack.temp_k
+        buf["coolant_temp_k"][k] = coolant_temp
+        buf["inlet_temp_k"][k] = thermal.inlet_temp_k
+        buf["heat_w"][k] = step.battery_heat_w
+        buf["cell_current_a"][k] = step.battery_cell_current_a
+        buf["chem_energy_j"][k] = step.chem_energy_j
+        buf["cap_energy_j"][k] = step.cap_energy_j
+        buf["converter_loss_j"][k] = step.converter_loss_j
+        buf["loss_increment_percent"][k] = step.loss_increment_percent
+        buf["unmet_w"][k] = step.unmet_power_w
+
+    results = []
+    for j, request in enumerate(requests):
+        n = int(lengths[j])
+        trace = Trace(
+            **{name: buf[name][:n, j].copy() for name in CHANNELS}
+        )
+        results.append(
+            SimulationResult(
+                controller_name=controller.name,
+                cycle_name=request.cycle_name,
+                trace=trace,
+                metrics=compute_metrics(trace),
+                solver=None,
+            )
+        )
+    return results
+
+
+def run_lockstep(scenarios) -> list[SimulationResult]:
+    """Run any mix of lockstep-supported scenarios, grouping automatically.
+
+    Scenarios are bucketed by :func:`lockstep_key` plus sample period; each
+    bucket advances as one batch.  Returns results index-aligned with the
+    input.  Raises ``ValueError`` if any scenario is not lockstep-capable
+    (callers decide the fallback - see ``repro.sim.batch``).
+    """
+    scenarios = list(scenarios)
+    for s in scenarios:
+        if not lockstep_supported(s):
+            raise ValueError(
+                f"methodology {s.methodology!r} has no batched policy; "
+                "run it on the scalar engine"
+            )
+    requests = [build_request(s) for s in scenarios]
+    groups: dict[tuple, list[int]] = {}
+    for i, (s, r) in enumerate(zip(scenarios, requests)):
+        groups.setdefault((*lockstep_key(s), r.dt), []).append(i)
+    results: list[SimulationResult | None] = [None] * len(scenarios)
+    for indices in groups.values():
+        out = run_lockstep_group(
+            [scenarios[i] for i in indices], [requests[i] for i in indices]
+        )
+        for i, res in zip(indices, out):
+            results[i] = res
+    return results

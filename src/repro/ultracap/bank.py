@@ -158,3 +158,149 @@ class UltracapBank:
         """Restore initial conditions."""
         check_in_range(soe_percent, 0.0, 100.0, "soe_percent")
         self._soe = float(soe_percent)
+
+
+# ---------------------------------------------------------------------- #
+# lockstep (struct-of-arrays) twin
+
+
+@dataclass(frozen=True)
+class UltracapStepBatch:
+    """Vectorized :class:`UltracapStepResult`: one array entry per scenario."""
+
+    power_w: np.ndarray
+    current_a: np.ndarray
+    energy_j: np.ndarray
+    clipped: np.ndarray
+
+
+class UltracapBankVec:
+    """Struct-of-arrays ultracap bank advancing M scenarios in lockstep.
+
+    Unlike the battery pack, bank parameters vary across a sweep (the
+    paper's Table I sizes), so every :class:`UltracapParams` field the
+    stepping touches is stacked into a per-column array.  The update
+    mirrors :meth:`UltracapBank.apply_power` expression-for-expression so
+    each column is bitwise-identical to a scalar bank run.
+    """
+
+    def __init__(self, params, initial_soe_percent: float = 100.0):
+        params = list(params)
+        self.rated_voltage_v = np.array([p.rated_voltage_v for p in params])
+        self.max_power_w = np.array([p.max_power_w for p in params])
+        self.energy_capacity_j = np.array([p.energy_capacity_j for p in params])
+        self.soe_min_percent = np.array([p.soe_min_percent for p in params])
+        self.soe_max_percent = np.array([p.soe_max_percent for p in params])
+        self.soe_hard_min_percent = np.array(
+            [p.soe_hard_min_percent for p in params]
+        )
+        self.internal_resistance_ohm = np.array(
+            [p.internal_resistance_ohm for p in params]
+        )
+        self.soe_percent = np.full(len(params), float(initial_soe_percent))
+
+    def reset(self, soe_percent) -> None:
+        """Restore per-column initial SoE."""
+        soe = np.asarray(soe_percent, dtype=float)
+        self.soe_percent = np.broadcast_to(
+            soe, self.soe_percent.shape
+        ).astype(float).copy()
+
+    def voltage(self, soe_percent=None) -> np.ndarray:
+        """Terminal voltage Vcap [V] (Eq. 8) per column."""
+        soe = self.soe_percent if soe_percent is None else soe_percent
+        return self.rated_voltage_v * np.sqrt(np.maximum(soe, 0.0) / 100.0)
+
+    @property
+    def energy_j(self) -> np.ndarray:
+        """Stored energy [J] per column."""
+        return self.soe_percent / 100.0 * self.energy_capacity_j
+
+    def headroom_j(self) -> np.ndarray:
+        """Energy each bank can still absorb before SoE-max [J]."""
+        return (
+            np.maximum(0.0, self.soe_max_percent - self.soe_percent)
+            / 100.0
+            * self.energy_capacity_j
+        )
+
+    def available_j(self) -> np.ndarray:
+        """Energy deliverable before the C5 floor [J] per column."""
+        return (
+            np.maximum(0.0, self.soe_percent - self.soe_min_percent)
+            / 100.0
+            * self.energy_capacity_j
+        )
+
+    def reserve_j(self) -> np.ndarray:
+        """Emergency energy between the C5 floor and the hard floor [J]."""
+        floor = np.minimum(self.soe_percent, self.soe_min_percent)
+        return (
+            np.maximum(0.0, floor - self.soe_hard_min_percent)
+            / 100.0
+            * self.energy_capacity_j
+        )
+
+    def max_discharge_power_w(self, dt: float) -> np.ndarray:
+        """Largest sustainable discharge power per column for ``dt`` [W]."""
+        return np.minimum(
+            self.max_power_w, self.available_j() / dt if dt > 0 else 0.0
+        )
+
+    def max_charge_power_w(self, dt: float) -> np.ndarray:
+        """Largest sustainable charge power per column for ``dt`` [W]."""
+        return np.minimum(
+            self.max_power_w, self.headroom_j() / dt if dt > 0 else 0.0
+        )
+
+    def apply_power(
+        self,
+        power_w: np.ndarray,
+        dt: float,
+        tap_reserve: bool = False,
+        active=None,
+    ) -> UltracapStepBatch:
+        """Vectorized :meth:`UltracapBank.apply_power` over all columns.
+
+        ``active`` (optional boolean mask) restricts the update to a subset
+        of columns: inactive columns keep their exact SoE bit pattern and
+        report zero power/current/energy - the lockstep equivalent of the
+        scalar plants *not calling* ``apply_power`` on a branch.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        requested = power_w
+        power = np.clip(power_w, -self.max_power_w, self.max_power_w)
+        deliverable = self.available_j()
+        if tap_reserve:
+            deliverable = deliverable + self.reserve_j()
+        power = np.where(
+            power > 0, np.minimum(power, deliverable / dt), power
+        )
+        power = np.where(
+            power < 0, -np.minimum(-power, self.headroom_j() / dt), power
+        )
+        energy = power * dt
+        new_energy_j = self.energy_j - energy
+        mean_voltage = 0.5 * (
+            self.voltage()
+            + self.voltage(100.0 * new_energy_j / self.energy_capacity_j)
+        )
+        current = np.where(
+            mean_voltage > 1e-9,
+            power / np.maximum(mean_voltage, 1e-30),
+            0.0,
+        )
+        new_soe = 100.0 * new_energy_j / self.energy_capacity_j
+        clipped = np.abs(power - requested) > 1e-9
+        if active is None:
+            self.soe_percent = new_soe
+        else:
+            self.soe_percent = np.where(active, new_soe, self.soe_percent)
+            power = np.where(active, power, 0.0)
+            current = np.where(active, current, 0.0)
+            energy = np.where(active, energy, 0.0)
+            clipped = clipped & active
+        return UltracapStepBatch(
+            power_w=power, current_a=current, energy_j=energy, clipped=clipped
+        )

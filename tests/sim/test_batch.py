@@ -89,8 +89,8 @@ class TestSerialRun:
 
 class TestParallelRun:
     def test_parallel_equals_serial_bitwise(self):
-        serial = run_batch(GRID, workers=0)
-        parallel = run_batch(GRID, workers=2)
+        serial = run_batch(GRID, workers=0, execution="scalar")
+        parallel = run_batch(GRID, workers=2, execution="scalar")
         # a single-CPU host degrades the pool to serial (same cell runner)
         assert parallel.ok
         assert parallel.methodology in ("process-pool", "serial-fallback")
@@ -176,7 +176,7 @@ class TestSerialFallback:
 
     def test_single_cpu_degrades(self, monkeypatch):
         monkeypatch.setattr("os.cpu_count", lambda: 1)
-        batch = run_batch(GRID[:2], workers=4)
+        batch = run_batch(GRID[:2], workers=4, execution="scalar")
         assert batch.ok
         assert batch.methodology == "serial-fallback"
         assert batch.workers == 1
@@ -276,9 +276,136 @@ class TestSolverStatsPlumbing:
         assert row["solver_backend"] == "scalar"
 
 
+class TestLockstepRouting:
+    """Engine selection: auto grouping, forced modes, and the fallback."""
+
+    def test_auto_routes_architecture_groups_to_lockstep(self):
+        batch = run_batch(GRID)  # parallel x2 + dual x2: two groups of two
+        assert batch.ok
+        assert batch.methodology == "lockstep"
+        assert [c.engine_backend for c in batch.cells] == ["lockstep"] * 4
+
+    def test_auto_keeps_singletons_scalar(self):
+        grid = [GRID[0], GRID[1], Scenario(methodology="cooling", cycle="nycc")]
+        batch = run_batch(grid)
+        assert batch.ok
+        assert batch.methodology == "lockstep+serial"
+        assert [c.engine_backend for c in batch.cells] == [
+            "lockstep",
+            "lockstep",
+            "scalar",
+        ]
+
+    def test_mpc_cells_always_stay_scalar(self):
+        otem = Scenario(
+            methodology="otem",
+            cycle="nycc",
+            mpc_horizon=4,
+            mpc_step_s=30.0,
+            mpc_max_evals=10,
+        )
+        batch = run_batch([GRID[0], GRID[1], otem], execution="lockstep")
+        assert batch.ok
+        assert batch.methodology == "lockstep+serial"
+        assert batch.cells[2].engine_backend == "scalar"
+        assert batch.cells[2].solver is not None
+
+    def test_forced_lockstep_takes_singletons_too(self):
+        batch = run_batch([GRID[0]], execution="lockstep")
+        assert batch.ok
+        assert batch.methodology == "lockstep"
+        assert batch.cells[0].engine_backend == "lockstep"
+
+    def test_forced_scalar_is_legacy_behavior(self):
+        batch = run_batch(GRID, execution="scalar")
+        assert batch.ok
+        assert batch.methodology == "serial"
+        assert [c.engine_backend for c in batch.cells] == ["scalar"] * 4
+
+    def test_unknown_execution_rejected(self):
+        with pytest.raises(ValueError, match="execution mode"):
+            run_batch(GRID[:1], execution="warp")
+
+    def test_lockstep_matches_scalar_within_ulp_tolerance(self):
+        """Cross-engine agreement at the documented 1e-9 relative bound
+        (see tests/sim/test_engine_vec.py for the exact/ulp split)."""
+        lockstep = run_batch(GRID, execution="lockstep")
+        scalar = run_batch(GRID, execution="scalar")
+        for a, b in zip(lockstep.cells, scalar.cells):
+            for field in dataclasses.fields(a.metrics):
+                x = getattr(a.metrics, field.name)
+                y = getattr(b.metrics, field.name)
+                assert x == pytest.approx(y, rel=1e-9, abs=1e-12), field.name
+
+    def test_group_failure_reroutes_cells_to_scalar(self):
+        """A broken cell poisons its whole lockstep group; every member is
+        re-run on the crash-isolated scalar path instead."""
+        bad = dataclasses.replace(GRID[1], cycle="no-such-cycle")
+        batch = run_batch([GRID[0], bad])
+        assert [c.ok for c in batch.cells] == [True, False]
+        assert "no-such-cycle" in batch.cells[1].error
+        assert batch.cells[0].engine_backend == "scalar"
+        assert batch.methodology == "serial"  # nothing stayed on lockstep
+
+
+class TestEngineBackendCache:
+    """CACHE_SCHEMA 3: the engine backend is part of the cache key."""
+
+    def test_fingerprint_separates_backends(self):
+        s = GRID[0]
+        assert scenario_fingerprint(s, engine_backend="scalar") != (
+            scenario_fingerprint(s, engine_backend="lockstep")
+        )
+        # default is the scalar backend (pre-lockstep keys' semantics)
+        assert scenario_fingerprint(s) == scenario_fingerprint(
+            s, engine_backend="scalar"
+        )
+
+    def test_backend_switch_never_serves_stale_rows(self, tmp_path):
+        """Same grid, different engine: a cache hit across backends would
+        silently blur which engine produced a number."""
+        cache = ResultCache(tmp_path)
+        first = run_batch(GRID, cache=cache)  # auto: all lockstep
+        assert first.cache_misses == len(GRID)
+        rerun = run_batch(GRID, cache=cache)
+        assert rerun.cache_hits == len(GRID)
+        assert all(c.engine_backend == "lockstep" for c in rerun.cells)
+        forced = run_batch(GRID, cache=cache, execution="scalar")
+        assert forced.cache_hits == 0 and forced.cache_misses == len(GRID)
+        assert all(c.engine_backend == "scalar" for c in forced.cells)
+
+    def test_schema_bump_invalidates_old_entries(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        run_batch(GRID[:1], cache=cache)
+        monkeypatch.setattr("repro.sim.batch.CACHE_SCHEMA", 2)
+        stale = run_batch(GRID[:1], cache=cache)
+        assert stale.cache_hits == 0 and stale.cache_misses == 1
+
+    def test_rows_carry_engine_backend(self):
+        rows = run_batch(GRID).rows()
+        assert [r["engine_backend"] for r in rows] == ["lockstep"] * 4
+
+    def test_pre_schema_3_payloads_default_to_scalar(self, tmp_path):
+        """Old cache pickles predate CellPayload.engine_backend."""
+        cache = ResultCache(tmp_path)
+        run_batch(GRID[:1], cache=cache, execution="scalar")
+        key = scenario_fingerprint(GRID[0])
+        payload = cache.get(key)
+        object.__delattr__(payload, "engine_backend")
+        cache.put(key, payload)
+        served = run_batch(GRID[:1], cache=cache, execution="scalar")
+        assert served.cache_hits == 1
+        assert served.cells[0].engine_backend == "scalar"
+
+    def test_lockstep_cells_share_group_wall_time(self):
+        batch = run_batch(GRID[:2])  # one lockstep group of two
+        walls = [c.wall_s for c in batch.cells]
+        assert walls[0] == walls[1] > 0.0
+
+
 class TestBenchPayload:
     def test_shape(self):
-        payload = run_batch(GRID[:2], workers=0).bench_payload()
+        payload = run_batch(GRID[:2], workers=0, execution="scalar").bench_payload()
         assert payload["cells"] == 2
         assert payload["failures"] == 0
         assert payload["methodology"] == "serial"
