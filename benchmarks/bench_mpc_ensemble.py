@@ -1,0 +1,123 @@
+"""MPC-ensemble throughput: lockstep OTEM batches vs serial scalar runs.
+
+The tentpole measurement of the lockstep-MPC PR: a 32-scenario nycc
+Monte-Carlo ensemble (traffic-perturbed routes, seeds 0..30 plus the
+nominal cycle), all OTEM with the vectorized rollout backend, run
+
+* as **one lockstep group** - every replan wave solves all still-active
+  columns' horizon problems in a single batched L-BFGS-B driver
+  (:class:`repro.core.mpc.MPCPlannerVec`), and
+* as **serial scalar-engine runs** - the per-scenario reference the
+  lockstep columns are equivalence-tested against.
+
+Timing the full serial side at ensemble scale would dominate the CI
+budget, so the serial cost is measured on a sample of the ensemble and
+extrapolated linearly (per-scenario runs are independent; wall time is
+additive).  Results land in ``BENCH_mpc_ensemble.json``; the acceptance
+target is a >= 3x ensemble speedup, asserted strictly where CI controls
+the machine (``REPRO_REQUIRE_SPEEDUP``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.sim.engine_vec import run_lockstep_group
+from repro.sim.scenario import Scenario, run_scenario
+
+#: Ensemble size (the acceptance floor is 32 scenarios).
+ENSEMBLE = 32
+
+#: Serial reference sample (extrapolated to ENSEMBLE; runs are independent).
+SERIAL_SAMPLE = 4
+
+#: Solver shape: moderate horizon/budget so the bench stays in CI scale
+#: while every scenario still replans ~20 times over the nycc route.
+KNOBS = dict(
+    methodology="otem",
+    cycle="nycc",
+    rollout_backend="vectorized",
+    mpc_horizon=6,
+    mpc_step_s=30.0,
+    mpc_max_evals=40,
+)
+
+
+def _ensemble() -> list:
+    """Seeds 0..30 plus the nominal route: one lockstep group of 32."""
+    base = Scenario(**KNOBS)
+    return [base] + [
+        dataclasses.replace(base, perturb_seed=seed)
+        for seed in range(ENSEMBLE - 1)
+    ]
+
+
+def test_mpc_ensemble_lockstep_speedup(benchmark):
+    scenarios = _ensemble()
+
+    # serial scalar-engine reference on a sample, extrapolated
+    sample = scenarios[:SERIAL_SAMPLE]
+    start = time.perf_counter()
+    serial_results = [run_scenario(s) for s in sample]
+    serial_sample_s = time.perf_counter() - start
+    serial_per_scenario_s = serial_sample_s / SERIAL_SAMPLE
+    serial_extrapolated_s = serial_per_scenario_s * ENSEMBLE
+
+    start = time.perf_counter()
+    lockstep_results = run_once(benchmark, run_lockstep_group, scenarios)
+    lockstep_s = time.perf_counter() - start
+
+    # the speedup is only meaningful if the columns are the same numbers:
+    # sampled columns must match their serial references (identical solver
+    # stats; metrics to the documented ulp budget)
+    for lock, ref in zip(lockstep_results, serial_results):
+        assert lock.solver == ref.solver
+        assert abs(lock.metrics.qloss_percent - ref.metrics.qloss_percent) <= (
+            1e-9 * abs(ref.metrics.qloss_percent)
+        )
+
+    speedup = serial_extrapolated_s / lockstep_s
+
+    from repro.utils.perf import record_bench
+
+    path = record_bench(
+        "mpc_ensemble",
+        {
+            "ensemble": ENSEMBLE,
+            "cycle": KNOBS["cycle"],
+            "solver": {
+                "horizon": KNOBS["mpc_horizon"],
+                "step_s": KNOBS["mpc_step_s"],
+                "max_function_evals": KNOBS["mpc_max_evals"],
+                "rollout_backend": KNOBS["rollout_backend"],
+            },
+            "serial_sample": SERIAL_SAMPLE,
+            "serial_sample_s": serial_sample_s,
+            "serial_per_scenario_s": serial_per_scenario_s,
+            "serial_extrapolated_s": serial_extrapolated_s,
+            "lockstep_s": lockstep_s,
+            "lockstep_per_scenario_s": lockstep_s / ENSEMBLE,
+            "speedup": speedup,
+            "cpu_count": os.cpu_count(),
+            "solves_per_scenario": [
+                r.solver.solves for r in lockstep_results[:SERIAL_SAMPLE]
+            ],
+        },
+    )
+
+    print()
+    print(
+        f"otem ensemble ({ENSEMBLE} x {KNOBS['cycle']}): "
+        f"serial {serial_extrapolated_s:.1f} s (extrapolated from "
+        f"{SERIAL_SAMPLE}), lockstep {lockstep_s:.1f} s "
+        f"-> {speedup:.2f}x -> {path}"
+    )
+
+    # acceptance: >= 3x; the unconditional floor leaves margin for noisy
+    # shared runners, the strict gate runs where CI controls the machine
+    assert speedup >= 2.0
+    if os.environ.get("REPRO_REQUIRE_SPEEDUP"):
+        assert speedup >= 3.0

@@ -121,11 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "lockstep", "scalar"),
         default="auto",
         help=(
-            "simulation engine: 'auto' (default) runs baseline cells that "
-            "share an architecture in one vectorized lockstep batch and "
-            "keeps MPC/singleton cells on the scalar engine; 'lockstep' "
-            "forces every supported cell onto the batched engine; 'scalar' "
-            "forces the per-cell engine everywhere"
+            "simulation engine: 'auto' (default) runs cells that share a "
+            "lockstep group in one vectorized batch - baselines grouped by "
+            "architecture, OTEM cells with the vectorized rollout backend "
+            "grouped by solver shape (MPC ensembles replan in lockstep "
+            "waves) - and keeps scalar-backend-MPC/singleton cells on the "
+            "scalar engine; 'lockstep' forces every supported cell onto "
+            "the batched engine; 'scalar' forces the per-cell engine "
+            "everywhere"
         ),
     )
     batch.add_argument(

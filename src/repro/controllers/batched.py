@@ -1,4 +1,4 @@
-"""Lockstep (struct-of-arrays) twins of the baseline controllers.
+"""Lockstep (struct-of-arrays) twins of the simulation controllers.
 
 Each batched policy advances M scenario columns per call and mirrors its
 scalar counterpart decision-for-decision: hysteresis latches become boolean
@@ -7,9 +7,12 @@ is re-expressed as a mask over columns.  Because each column's state update
 uses exactly the scalar expressions, a column of a lockstep run matches the
 corresponding scalar run bitwise.
 
-Only the four baselines are represented - the MPC methodologies (OTEM)
-carry a solver per scenario and stay on the scalar
-:class:`repro.sim.engine.Simulator` path.
+The four baselines (:data:`BATCHED_CONTROLLERS`) are closed-form per step.
+:class:`BatchedOTEM` is the MPC twin: it replans every column's horizon in
+one :class:`repro.core.mpc.MPCPlannerVec` wave, so OTEM ensembles ride the
+lockstep engine too - provided every scenario runs the vectorized rollout
+backend (a lockstep OTEM column is equivalent to the scalar engine with
+``rollout_backend="vectorized"``, not to the scalar-backend reference).
 """
 
 from __future__ import annotations
@@ -39,16 +42,18 @@ class BatchDecision:
     cooling_active:
         Per-column cooling loop engagement flags.
     inlet_temp_k:
-        Commanded coolant inlet temperature [K]; scalar because every
-        baseline commands the loop's full-cold inlet, which is uniform
-        within a lockstep group (the coolant is a group key).
+        Commanded coolant inlet temperature [K].  A scalar for the
+        baselines (they command the loop's full-cold inlet, uniform
+        within a lockstep group because the coolant is a group key); a
+        per-column array for :class:`BatchedOTEM`, whose MPC plans a
+        different inlet per scenario.
     """
 
     cap_bus_w: np.ndarray
     dual_mode: np.ndarray
     recharge_power_w: np.ndarray
     cooling_active: np.ndarray
-    inlet_temp_k: float = 298.0
+    inlet_temp_k: float | np.ndarray = 298.0
 
 
 def _zeros_decision(m: int, **overrides) -> BatchDecision:
@@ -265,6 +270,218 @@ class BatchedHybridHeuristic:
             cap_bus_w=cap_bus,
             cooling_active=self._cooling.copy(),
             inlet_temp_k=self._coolant.min_inlet_temp_k,
+        )
+
+
+class BatchedOTEM:
+    """Lockstep twin of :class:`repro.core.otem.OTEMController`.
+
+    Where the baseline twins are stateless formulas over columns, this one
+    carries the full receding-horizon machinery: per-column prediction
+    models (the bank energy may differ per scenario), a shared replan
+    cadence, move blocking, and the per-step cooling mask - each mirroring
+    the scalar controller expression-for-expression.  The S horizon
+    problems of a replan wave are solved in lockstep by
+    :class:`repro.core.mpc.MPCPlannerVec`, whose plans are equivalent to
+    per-scenario ``MPCPlanner(rollout_backend="vectorized")`` solves; a
+    column of a lockstep OTEM run therefore matches the scalar engine
+    running that scenario with the vectorized rollout backend.
+
+    Unlike the baseline twins, the MPC needs route context before the
+    step loop: call :meth:`begin_route` with the group's (zero-padded)
+    power matrix, then :meth:`control_mpc` once per step.
+    """
+
+    name = "OTEM"
+    architecture = Architecture.HYBRID
+    uses_cooling = True
+    #: engine marker: this twin takes the full state via control_mpc()
+    is_mpc = True
+
+    @classmethod
+    def from_scenarios(cls, scenarios) -> "BatchedOTEM":
+        """Build the twin for a lockstep group of OTEM scenarios.
+
+        Every scenario contributes its own prediction model (its bank
+        energy); the solver shape (horizon, step, budget, weights) is
+        shared - the lockstep grouping key guarantees it.
+        """
+        # imported here: repro.core pulls in repro.sim, which circles back
+        # to this module through the lockstep engine
+        from repro.battery.pack import BatteryPack
+        from repro.core.mpc import MPCPlannerVec
+        from repro.core.rollout import PredictionModel
+        from repro.hees.hybrid import default_battery_converter, default_cap_converter
+        from repro.ultracap.bank import UltracapBank
+
+        first = scenarios[0]
+        models = []
+        for s in scenarios:
+            cap_params = s.cap_params()
+            # converters identical to the plant's defaults so predictions
+            # match - same probes the scalar OTEMController builds
+            pack_probe = BatteryPack(s.pack)
+            bank_probe = UltracapBank(cap_params)
+            models.append(
+                PredictionModel(
+                    s.pack,
+                    cap_params,
+                    s.coolant,
+                    default_battery_converter(pack_probe),
+                    default_cap_converter(bank_probe),
+                    s.weights,
+                )
+            )
+        planner = MPCPlannerVec(
+            models,
+            horizon=first.mpc_horizon,
+            step_s=first.mpc_step_s,
+            max_function_evals=first.mpc_max_evals,
+        )
+        return cls(planner)
+
+    def __init__(self, planner: MPCPlannerVec):
+        self._planner = planner
+        self._m = planner.scenarios
+        self._power_ext: np.ndarray | None = None
+        self._dt = 0.0
+        self._per_bin = 1
+        self._needed = 0
+        self._preview_steps = 0
+        self._steps_per_replan = 1
+        self._plan_k = -1
+        self._cap0: np.ndarray | None = None
+        self._inlet0: np.ndarray | None = None
+
+    @property
+    def planner(self) -> MPCPlannerVec:
+        """The underlying lockstep MPC planner."""
+        return self._planner
+
+    def solver_stats(self) -> tuple:
+        """Per-column :class:`repro.core.mpc.SolverStats`, input order."""
+        return self._planner.stats
+
+    def reset(self, m: int) -> None:
+        """Forget every column's plan and warm start (fresh route)."""
+        if m != self._m:
+            raise ValueError(
+                f"BatchedOTEM was built for {self._m} scenarios, got {m}"
+            )
+        self._planner.reset()
+        self._power_ext = None
+        self._plan_k = -1
+        self._cap0 = None
+        self._inlet0 = None
+
+    def begin_route(
+        self,
+        power: np.ndarray,
+        dt: float,
+        lengths: np.ndarray | None = None,
+    ) -> None:
+        """Store the route's power matrix and derive the replan geometry.
+
+        Parameters
+        ----------
+        power:
+            ``(T, M)`` per-column power requests [W], zero-padded to the
+            longest route (the lockstep engine's layout).  Zero padding
+            matches ``PowerRequest.window``'s past-the-end behaviour, so
+            ragged columns see exactly the scalar preview.
+        dt:
+            Plant sample period [s].
+        lengths:
+            Per-column true route lengths [steps] (default: ``T`` for
+            all).  A column replans only while ``step < length`` - the
+            scalar engine stops at its own route end, so solves in the
+            padded tail would diverge from the per-scenario reference.
+        """
+        if power.ndim != 2 or power.shape[1] != self._m:
+            raise ValueError(f"power must be (T, {self._m}), got {power.shape}")
+        t_max = power.shape[0]
+        if lengths is None:
+            self._lengths = np.full(self._m, t_max)
+        else:
+            self._lengths = np.asarray(lengths, dtype=int)
+            if self._lengths.shape != (self._m,):
+                raise ValueError(
+                    f"lengths must be ({self._m},), got {self._lengths.shape}"
+                )
+        n = self._planner.horizon
+        step_s = self._planner.step_s
+        self._dt = dt
+        self._per_bin = max(1, int(round(step_s / dt)))
+        self._needed = self._per_bin * n
+        self._preview_steps = int(np.ceil(n * step_s / dt))
+        self._steps_per_replan = max(1, int(round(step_s / dt)))
+        # zero-extend so a preview slice near the route end never runs
+        # short (mirrors PowerRequest.window + _aggregate_preview padding)
+        ext = np.zeros((t_max + self._preview_steps, self._m))
+        ext[:t_max] = power
+        self._power_ext = ext
+        self._plan_k = -1
+        self._cap0 = None
+        self._inlet0 = None
+
+    def control_mpc(
+        self,
+        step_index: int,
+        battery_temp_k: np.ndarray,
+        coolant_temp_k: np.ndarray,
+        soc_percent: np.ndarray,
+        soe_percent: np.ndarray,
+    ) -> BatchDecision:
+        """Receding-horizon control with move blocking, all columns at once.
+
+        Mirrors :meth:`repro.core.otem.OTEMController.control`: replan on
+        the shared cadence, hold each column's first-step commands until
+        the next replan, and re-evaluate the cooling mask *every* step
+        against the current coolant temperature.
+        """
+        if self._power_ext is None:
+            raise RuntimeError("call begin_route() before control_mpc()")
+        m = self._m
+        n = self._planner.horizon
+        due = (
+            self._cap0 is None
+            or (step_index - self._plan_k) >= self._steps_per_replan
+        )
+        # ragged groups: a column past its own route end keeps its stale
+        # plan (those trace rows are truncated) so its solve sequence
+        # matches the scalar engine's exactly
+        active = np.flatnonzero(step_index < self._lengths)
+        if due and active.size:
+            if self._cap0 is None:
+                self._cap0 = np.zeros(m)
+                self._inlet0 = np.asarray(coolant_temp_k, dtype=float).copy()
+            # coarse preview: window -> pad/truncate to per_bin*n -> bin
+            # means.  The (m_active, n, per_bin) layout reduces the
+            # innermost contiguous axis, the same pairwise summation the
+            # scalar (n, per_bin) mean performs per element.
+            span = min(self._needed, self._preview_steps)
+            fine = np.zeros((active.size, self._needed))
+            window = self._power_ext[step_index : step_index + span]
+            fine[:, :span] = window[:, active].T
+            coarse = fine.reshape(active.size, n, self._per_bin).mean(axis=2)
+            states = np.column_stack(
+                [battery_temp_k, coolant_temp_k, soc_percent, soe_percent]
+            )[active]
+            plans = self._planner.plan_batch(states, coarse, indices=active)
+            self._cap0[active] = [float(p.cap_bus_w[0]) for p in plans]
+            self._inlet0[active] = [float(p.inlet_temp_k[0]) for p in plans]
+            self._plan_k = step_index
+
+        # cooling engages only where the plan asks for a colder inlet; a
+        # hair below T_c means "pump only" (per column, per step)
+        cooling = self._inlet0 < coolant_temp_k - 0.05
+        inlet = np.where(cooling, self._inlet0, coolant_temp_k)
+        return BatchDecision(
+            cap_bus_w=self._cap0.copy(),
+            dual_mode=np.full(m, DualHEESVec.MODE_BATTERY, dtype=np.int64),
+            recharge_power_w=np.zeros(m),
+            cooling_active=np.ones(m, dtype=bool),
+            inlet_temp_k=inlet,
         )
 
 

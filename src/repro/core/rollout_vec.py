@@ -8,6 +8,15 @@ every clamp, guard branch and hinge is reproduced with masked array
 arithmetic - so the batched costs match the scalar reference within
 floating-point noise (``tests/core/test_rollout_vec.py`` asserts 1e-9).
 
+The kernel also runs in *stacked* mode
+(:meth:`BatchPredictionModel.rollout_costs_stacked`): each row carries
+its own initial state, its own preview window, and optionally its own
+ultracapacitor bank energy (``ecap``), so S scenarios x K candidates
+evaluate as one ``(S*K, 2N)`` batch.  Every per-row quantity enters the
+same elementwise expressions the shared-state path uses, which keeps the
+per-element arithmetic - and therefore the equivalence bound - unchanged
+regardless of how rows are stacked.
+
 This is the solver hot path: a batched finite-difference gradient costs
 one kernel invocation instead of ``2N+1`` serial Python rollouts, and the
 multi-start candidates of :meth:`repro.core.mpc.MPCPlanner._solve_penalty`
@@ -131,7 +140,44 @@ class BatchPredictionModel(PredictionModel):
         """Detailed batched trajectories (equivalence tests, diagnostics)."""
         return self._rollout_batch(state, cap_bus, inlet, preview_w, dt, True)
 
-    def _rollout_batch(self, state, cap_bus, inlet, preview_w, dt, detailed):
+    def rollout_costs_stacked(
+        self,
+        states: np.ndarray,
+        cap_bus: np.ndarray,
+        inlet: np.ndarray,
+        previews: np.ndarray,
+        dt: float,
+        ecap: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Objectives of M trajectories with *per-row* initial conditions.
+
+        The stacked form of :meth:`rollout_costs`: row ``i`` starts from
+        ``states[i]``, consumes ``previews[i]`` and (optionally) uses its
+        own bank energy ``ecap[i]``, so candidates belonging to different
+        scenarios evaluate in one kernel pass.
+
+        Parameters
+        ----------
+        states:
+            ``(M, 4)`` rows of (T_b, T_c, SoC, SoE).
+        cap_bus / inlet:
+            Commands, shape ``(M, N)`` each.
+        previews:
+            Predicted EV power per step [W], shape ``(M, N)``.
+        dt:
+            Horizon step duration [s].
+        ecap:
+            Optional per-row ultracap bank energy [J], shape ``(M,)``.
+            Defaults to the model's own ``ecap`` for every row.
+
+        Returns
+        -------
+        numpy.ndarray
+            Total cost per row, shape ``(M,)``.
+        """
+        return self._rollout_batch(states, cap_bus, inlet, previews, dt, False, ecap)
+
+    def _rollout_batch(self, state, cap_bus, inlet, preview_w, dt, detailed, ecap=None):
         w = self.w
         gas = GAS_CONSTANT
         cap_bus = np.atleast_2d(np.asarray(cap_bus, dtype=float))
@@ -142,16 +188,35 @@ class BatchPredictionModel(PredictionModel):
             )
         m, n = cap_bus.shape
         preview = np.asarray(preview_w, dtype=float)
-        if preview.size < n:
-            raise ValueError(f"preview has {preview.size} steps, horizon needs {n}")
+        if preview.ndim == 1:
+            if preview.size < n:
+                raise ValueError(f"preview has {preview.size} steps, horizon needs {n}")
+            # shared window: preview[k] is a scalar broadcast over all rows
+            preview_rows = preview
+        else:
+            if preview.shape != (m, n):
+                raise ValueError(
+                    f"stacked previews must be {(m, n)}, got {preview.shape}"
+                )
+            # per-row windows, step-major: preview_rows[k] is the (m,) slice
+            preview_rows = np.ascontiguousarray(preview.T)
         # step-major contiguous views: the k-loop reads one row at a time
         cap_t = np.ascontiguousarray(cap_bus.T)
         inlet_t = np.ascontiguousarray(inlet.T)
 
-        tb = np.full(m, float(state[0]))
-        tc = np.full(m, float(state[1]))
-        soc = np.full(m, float(state[2]))
-        soe = np.full(m, float(state[3]))
+        state_arr = np.asarray(state, dtype=float)
+        if state_arr.ndim == 1:
+            tb = np.full(m, float(state_arr[0]))
+            tc = np.full(m, float(state_arr[1]))
+            soc = np.full(m, float(state_arr[2]))
+            soe = np.full(m, float(state_arr[3]))
+        else:
+            if state_arr.shape != (m, 4):
+                raise ValueError(f"stacked states must be {(m, 4)}, got {state_arr.shape}")
+            tb = state_arr[:, 0].copy()
+            tc = state_arr[:, 1].copy()
+            soc = state_arr[:, 2].copy()
+            soe = state_arr[:, 3].copy()
         objective = np.zeros(m)
         penalty = np.zeros(m)
         if detailed:
@@ -173,8 +238,12 @@ class BatchPredictionModel(PredictionModel):
         vr_sqrt = self.vr * 0.1  # vr*sqrt(soe/100) = vr/10*sqrt(soe)
         inv_cc_vref = 1.0 / self.cc_vref
         inv_bc_vref = 1.0 / self.bc_vref
-        j_to_soe = 100.0 / self.ecap
-        soe_out_gain = 0.01 * self.ecap / dt  # max_out per (soe - 1)
+        # ecap may be a (M,) per-row bank energy in stacked mode; the
+        # expressions are elementwise either way, so the per-element
+        # arithmetic (and results) are unchanged from the scalar fold
+        ecap_v = self.ecap if ecap is None else np.asarray(ecap, dtype=float)
+        j_to_soe = 100.0 / ecap_v
+        soe_out_gain = 0.01 * ecap_v / dt  # max_out per (soe - 1)
         i_max = self.i_max_cell
         n_cells = self.n_cells
         inv_n_cells = 1.0 / n_cells
@@ -207,7 +276,7 @@ class BatchPredictionModel(PredictionModel):
             coldest = np.maximum(tc - cold_drop, self.min_inlet)
             ti = np.minimum(np.maximum(inlet_t[k], coldest), tc)
             p_cool = cool_gain * (tc - ti)
-            total = (preview[k] + self.pump) + p_cool
+            total = (preview_rows[k] + self.pump) + p_cool
 
             # --- ultracapacitor branch ---
             pcb = np.minimum(np.maximum(cap_t[k], -cap_pmax), cap_pmax)
@@ -305,7 +374,7 @@ class BatchPredictionModel(PredictionModel):
         depleted = soe_deficit > 0.0
         if depleted.any():
             arrhenius = np.exp(neg_l2_gas / tb)
-            deficit_j = soe_deficit * (0.01 * self.ecap)
+            deficit_j = soe_deficit * (0.01 * ecap_v)
             refill_i = (w.terminal_refill_power_w * inv_n_cells) / self._voc_vec(soc)
             refill_time = deficit_j / w.terminal_refill_power_w
             refill_qloss = (

@@ -17,11 +17,14 @@ SummaryMetrics` into a :class:`BatchResult`:
   of the full scenario (controller, pack, vehicle, coolant, weights, MPC
   knobs) plus the engine backend assigned to the cell, so repeated sweeps
   and CI re-runs skip already-computed cells;
-* **lockstep vectorization** - baseline-methodology cells that share an
-  architecture are batched onto the struct-of-arrays engine
+* **lockstep vectorization** - cells that share an architecture (and,
+  for OTEM, a solver shape) are batched onto the struct-of-arrays engine
   (:mod:`repro.sim.engine_vec`), advancing the whole group per NumPy step
-  instead of per-cell Python loops; MPC cells and singleton groups stay on
-  the scalar engine (``execution="auto"``).
+  instead of per-cell Python loops.  This covers the four baselines *and*
+  OTEM cells running the vectorized rollout backend, whose replan waves
+  are solved in lockstep by :class:`repro.core.mpc.MPCPlannerVec`;
+  scalar-backend OTEM cells and singleton groups stay on the scalar
+  engine (``execution="auto"``).
 
 Serial execution (``workers=0``) goes through exactly the same cell
 runner, so parallel results are bitwise identical to serial ones (see
@@ -50,7 +53,9 @@ from repro.sim.scenario import Scenario, run_scenario
 #: 2: SolverStats gained ``backend``; Scenario gained ``rollout_backend``.
 #: 3: CellPayload gained ``engine_backend``; fingerprints include the
 #:    engine backend assigned to the cell (lockstep engine added).
-CACHE_SCHEMA = 3
+#: 4: OTEM cells may be lockstep-assigned (batched MPC); SolverStats
+#:    gained warm-start winner attribution (``wins_*``).
+CACHE_SCHEMA = 4
 
 #: Accepted ``run_batch(execution=...)`` modes.
 EXECUTION_MODES = ("auto", "lockstep", "scalar")
@@ -302,6 +307,15 @@ class BatchResult:
                 row["solver_last_cost"] = cell.solver.last_cost_or_none
                 # pre-schema-2 pickles lack the field
                 row["solver_backend"] = getattr(cell.solver, "backend", "scalar")
+                # winner attribution (schema 4+; getattr for old pickles):
+                # which start seed won each replan race
+                row["solver_wins_warm"] = getattr(cell.solver, "wins_warm", 0)
+                row["solver_wins_neutral"] = getattr(
+                    cell.solver, "wins_neutral", 0
+                )
+                row["solver_wins_full_cool"] = getattr(
+                    cell.solver, "wins_full_cool", 0
+                )
             out.append(row)
         return out
 
@@ -321,12 +335,16 @@ class BatchResult:
 def _lockstep_assignment(scenarios: list, execution: str) -> set:
     """Indices of the cells the lockstep engine should compute.
 
-    ``"scalar"`` assigns none; ``"lockstep"`` assigns every supported cell
-    (MPC cells always stay scalar); ``"auto"`` assigns supported cells
-    whose architecture group has at least two members - a singleton group
-    gains nothing from vectorization, so it stays on the scalar engine.
-    The decision uses only the input grid, never the cache state, so the
-    per-cell fingerprints are deterministic.
+    ``"scalar"`` assigns none; ``"lockstep"`` assigns every supported cell;
+    ``"auto"`` assigns supported cells whose group (architecture, and for
+    OTEM the full solver shape - see :func:`~repro.sim.engine_vec.
+    lockstep_key`) has at least two members - a singleton group gains
+    nothing from vectorization, so it stays on the scalar engine.  OTEM
+    cells are supported when they run the vectorized rollout backend;
+    scalar-backend MPC cells always stay scalar (routing them would
+    silently switch solver backends).  The decision uses only the input
+    grid, never the cache state, so the per-cell fingerprints are
+    deterministic.
     """
     if execution == "scalar":
         return set()
@@ -376,14 +394,16 @@ def run_batch(
         Progress callback invoked with each finished :class:`BatchCell`
         in completion order (serial mode: submission order).
     execution:
-        Engine selection: ``"auto"`` (default) routes baseline-methodology
-        cells with at least one architecture-mate onto the lockstep
-        struct-of-arrays engine and everything else onto the scalar
-        engine; ``"lockstep"`` forces every supported cell onto the
-        lockstep engine; ``"scalar"`` forces the scalar engine for all
-        cells (pre-lockstep behavior).  A lockstep group that fails re-
-        routes its cells to the scalar path one-by-one, preserving crash
-        isolation.
+        Engine selection: ``"auto"`` (default) routes supported cells
+        with at least one group-mate onto the lockstep struct-of-arrays
+        engine - the four baselines grouped by architecture, and OTEM
+        cells running the vectorized rollout backend grouped by solver
+        shape (MPC ensembles replan in lockstep waves) - and everything
+        else onto the scalar engine; ``"lockstep"`` forces every
+        supported cell onto the lockstep engine; ``"scalar"`` forces the
+        scalar engine for all cells (pre-lockstep behavior).  A lockstep
+        group that fails re-routes its cells to the scalar path
+        one-by-one, preserving crash isolation.
 
     Returns
     -------

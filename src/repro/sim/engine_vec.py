@@ -23,13 +23,21 @@ the difference never cascades.
 
 Scope
 -----
-Only the four baseline methodologies are vectorizable
-(:data:`LOCKSTEP_METHODOLOGIES`): their policies are closed-form per step.
-OTEM carries a per-scenario MPC solver and stays on the scalar engine.
-Scenarios mix freely within a group as long as the architecture-defining
-fields match (:func:`lockstep_key`); cycle lengths may be ragged - columns
-are zero-padded to the longest route and truncated on output, which is
-exact because no operation couples columns.
+The four baseline methodologies vectorize unconditionally: their policies
+are closed-form per step.  OTEM vectorizes too
+(:class:`repro.controllers.batched.BatchedOTEM` +
+:class:`repro.core.mpc.MPCPlannerVec` solve every column's horizon in one
+lockstep wave) - but only for scenarios that request
+``rollout_backend="vectorized"``: a lockstep OTEM column reproduces the
+scalar engine running that scenario *with the vectorized solver backend*,
+so routing a scalar-backend scenario here would silently change which
+reference it matches.  Scalar-backend OTEM cells therefore stay on the
+scalar engine (:func:`lockstep_supported` refuses them).  Scenarios mix
+freely within a group as long as the architecture-defining fields match
+(:func:`lockstep_key` - which for OTEM also pins the solver shape);
+cycle lengths may be ragged - columns are zero-padded to the longest
+route and truncated on output, which is exact because no operation
+couples columns.
 """
 
 from __future__ import annotations
@@ -38,7 +46,11 @@ import numpy as np
 
 from repro.battery.pack import BatteryPackVec
 from repro.controllers.base import Architecture
-from repro.controllers.batched import BATCHED_CONTROLLERS, build_batched_controller
+from repro.controllers.batched import (
+    BATCHED_CONTROLLERS,
+    BatchedOTEM,
+    build_batched_controller,
+)
 from repro.cooling.loop import CoolingLoop
 from repro.drivecycle.library import get_cycle
 from repro.hees.dual import DualHEESVec
@@ -55,12 +67,23 @@ from repro.sim.trace import CHANNELS, Trace
 from repro.ultracap.bank import UltracapBank, UltracapBankVec
 from repro.vehicle.powertrain import Powertrain, PowerRequest
 
-#: Methodologies the lockstep engine can vectorize (closed-form policies).
-LOCKSTEP_METHODOLOGIES = frozenset(BATCHED_CONTROLLERS)
+#: Methodologies the lockstep engine can vectorize: the closed-form
+#: baselines plus OTEM (batched MPC - see :func:`lockstep_supported` for
+#: the per-scenario backend condition).
+LOCKSTEP_METHODOLOGIES = frozenset(BATCHED_CONTROLLERS) | {"otem"}
 
 
 def lockstep_supported(scenario: Scenario) -> bool:
-    """Whether ``scenario`` can run on the lockstep engine."""
+    """Whether ``scenario`` can run on the lockstep engine.
+
+    Baselines qualify unconditionally.  OTEM qualifies only with
+    ``rollout_backend="vectorized"``: the lockstep MPC solves on the
+    batched kernel, so a scalar-backend scenario routed here would
+    silently switch solver backends - that choice stays with the
+    scenario, not the engine.
+    """
+    if scenario.methodology == "otem":
+        return scenario.rollout_backend == "vectorized"
     return scenario.methodology in LOCKSTEP_METHODOLOGIES
 
 
@@ -70,9 +93,20 @@ def lockstep_key(scenario: Scenario):
     The methodology fixes the controller and plant twin; the pack layout is
     shared pack state; the coolant parametrizes the loop and the batched
     thermostats.  Bank size, vehicle, initial temperature, cycle, repeat
-    count, and perturbation seed all vary freely per column.
+    count, and perturbation seed all vary freely per column.  OTEM cells
+    additionally pin the solver shape (weights, horizon, step, budget):
+    :class:`repro.core.mpc.MPCPlannerVec` solves the group's horizons as
+    one wave, so those knobs must be uniform within a group.
     """
-    return (scenario.methodology, scenario.pack, scenario.coolant)
+    key = (scenario.methodology, scenario.pack, scenario.coolant)
+    if scenario.methodology == "otem":
+        key += (
+            scenario.weights,
+            scenario.mpc_horizon,
+            scenario.mpc_step_s,
+            scenario.mpc_max_evals,
+        )
+    return key
 
 
 def build_request(scenario: Scenario) -> PowerRequest:
@@ -143,8 +177,12 @@ def run_lockstep_group(
     for j, r in enumerate(requests):
         power[: len(r), j] = r.power_w
 
-    controller = build_batched_controller(first.methodology, first.coolant)
+    if first.methodology == "otem":
+        controller = BatchedOTEM.from_scenarios(scenarios)
+    else:
+        controller = build_batched_controller(first.methodology, first.coolant)
     controller.reset(m)
+    is_mpc = getattr(controller, "is_mpc", False)
     arch = controller.architecture
 
     pack = BatteryPackVec(
@@ -162,12 +200,23 @@ def run_lockstep_group(
     passive = arch in (Architecture.PARALLEL, Architecture.DUAL)
     battery_only_mode = np.full(m, DualHEESVec.MODE_BATTERY, dtype=np.int64)
     zeros = np.zeros(m)
+    if is_mpc:
+        controller.begin_route(power, dt, lengths=lengths)
 
     buf = {name: np.empty((t_max, m)) for name in CHANNELS}
 
     for k in range(t_max):
         p_e = power[k]
-        decision = controller.control(p_e, pack.temp_k, bank.soe_percent)
+        if is_mpc:
+            decision = controller.control_mpc(
+                k,
+                pack.temp_k,
+                coolant_temp,
+                np.broadcast_to(np.asarray(pack.soc_percent, dtype=float), (m,)),
+                bank.soe_percent,
+            )
+        else:
+            decision = controller.control(p_e, pack.temp_k, bank.soe_percent)
 
         # price the cooling command before the plant step (the cooler
         # draws from the HEES bus); per-column thermostats may disagree
@@ -228,6 +277,7 @@ def run_lockstep_group(
         buf["loss_increment_percent"][k] = step.loss_increment_percent
         buf["unmet_w"][k] = step.unmet_power_w
 
+    solver_stats = controller.solver_stats() if is_mpc else None
     results = []
     for j, request in enumerate(requests):
         n = int(lengths[j])
@@ -240,7 +290,7 @@ def run_lockstep_group(
                 cycle_name=request.cycle_name,
                 trace=trace,
                 metrics=compute_metrics(trace),
-                solver=None,
+                solver=solver_stats[j] if solver_stats is not None else None,
             )
         )
     return results
@@ -257,6 +307,12 @@ def run_lockstep(scenarios) -> list[SimulationResult]:
     scenarios = list(scenarios)
     for s in scenarios:
         if not lockstep_supported(s):
+            if s.methodology == "otem":
+                raise ValueError(
+                    "lockstep OTEM requires rollout_backend='vectorized' "
+                    f"(got {s.rollout_backend!r}); scalar-backend MPC cells "
+                    "run on the scalar engine"
+                )
             raise ValueError(
                 f"methodology {s.methodology!r} has no batched policy; "
                 "run it on the scalar engine"

@@ -6,25 +6,33 @@ import pytest
 from repro.battery.pack import DEFAULT_PACK, BatteryPack
 from repro.cooling.coolant import DEFAULT_COOLANT
 from repro.core.cost import CostWeights
-from repro.core.mpc import MPCPlanner
+from repro.core.mpc import MPCPlanner, MPCPlannerVec
 from repro.core.rollout import PredictionModel
 from repro.hees.hybrid import default_battery_converter, default_cap_converter
 from repro.ultracap.bank import UltracapBank
 from repro.ultracap.params import UltracapParams
 
 
-def make_planner(horizon=8, **planner_kwargs):
+def make_model(capacitance_f=None, weights=None):
+    cap_params = (
+        UltracapParams()
+        if capacitance_f is None
+        else UltracapParams(capacitance_f=capacitance_f)
+    )
     pack = BatteryPack(DEFAULT_PACK)
-    bank = UltracapBank(UltracapParams())
-    model = PredictionModel(
+    bank = UltracapBank(cap_params)
+    return PredictionModel(
         DEFAULT_PACK,
-        UltracapParams(),
+        cap_params,
         DEFAULT_COOLANT,
         default_battery_converter(pack),
         default_cap_converter(bank),
-        CostWeights(),
+        weights or CostWeights(),
     )
-    return MPCPlanner(model, horizon=horizon, **planner_kwargs)
+
+
+def make_planner(horizon=8, **planner_kwargs):
+    return MPCPlanner(make_model(), horizon=horizon, **planner_kwargs)
 
 
 class TestConstruction:
@@ -181,6 +189,131 @@ class TestVectorizedBackend:
         assert planner._last_z is not None
         planner.reset()
         assert planner._last_z is None
+
+
+class TestBatchedPlanner:
+    """MPCPlannerVec: S scenarios' penalty solves in one lockstep driver.
+
+    The contract is *bitwise* equivalence: each scenario's plan (actions,
+    cost, iteration count) and SolverStats must match what its own
+    ``MPCPlanner(rollout_backend="vectorized")`` would produce, cold and
+    warm-started alike - the batched planner is the same solver run S
+    problems at a time, not an approximation of it.
+    """
+
+    HORIZON = 6
+    STEP = 30.0
+    EVALS = 30
+
+    STATES = np.array(
+        [
+            (298.0, 298.0, 90.0, 80.0),
+            (310.0, 308.0, 70.0, 30.0),
+            (304.0, 303.0, 80.0, 60.0),
+        ]
+    )
+    PREVIEWS = np.array(
+        [
+            [15_000.0] * HORIZON,
+            [40_000.0] * HORIZON,
+            [5_000.0] * HORIZON,
+        ]
+    )
+
+    def _models(self):
+        return [make_model(), make_model(capacitance_f=5_000.0), make_model()]
+
+    def _planner_pair(self):
+        models = self._models()
+        vec = MPCPlannerVec(
+            models,
+            horizon=self.HORIZON,
+            step_s=self.STEP,
+            max_function_evals=self.EVALS,
+        )
+        refs = [
+            MPCPlanner(
+                mdl,
+                horizon=self.HORIZON,
+                step_s=self.STEP,
+                max_function_evals=self.EVALS,
+                rollout_backend="vectorized",
+            )
+            for mdl in models
+        ]
+        return vec, refs
+
+    @staticmethod
+    def _assert_plans_equal(plan, ref_plan):
+        np.testing.assert_array_equal(plan.cap_bus_w, ref_plan.cap_bus_w)
+        np.testing.assert_array_equal(plan.inlet_temp_k, ref_plan.inlet_temp_k)
+        assert plan.solver_cost == ref_plan.solver_cost
+        assert plan.solver_iterations == ref_plan.solver_iterations
+
+    def test_cold_and_warm_waves_match_per_scenario_solves(self):
+        """Three replan waves: one cold, two warm, mixed bank sizes."""
+        vec, refs = self._planner_pair()
+        for wave in range(3):
+            states = self.STATES + 0.5 * wave  # drift the states a little
+            plans = vec.plan_batch(states, self.PREVIEWS)
+            for j, (plan, ref) in enumerate(zip(plans, refs)):
+                ref_plan = ref.plan(tuple(states[j]), self.PREVIEWS[j])
+                self._assert_plans_equal(plan, ref_plan)
+        assert vec.stats == tuple(r.stats for r in refs)
+
+    def test_stats_carry_winner_attribution(self):
+        vec, _ = self._planner_pair()
+        vec.plan_batch(self.STATES, self.PREVIEWS)
+        vec.plan_batch(self.STATES + 1.0, self.PREVIEWS)
+        for s in vec.stats:
+            assert s.solves == 2
+            assert s.wins_warm + s.wins_neutral + s.wins_full_cool == 2
+            assert s.backend == "vectorized"
+
+    def test_indices_subset_solves_only_those_scenarios(self):
+        """Ragged routes: a finished column sits a wave out, its warm
+        start and counters untouched, while the others solve in lockstep
+        exactly as their own planner would."""
+        vec, refs = self._planner_pair()
+        vec.plan_batch(self.STATES, self.PREVIEWS)
+        for ref, state, preview in zip(refs, self.STATES, self.PREVIEWS):
+            ref.plan(tuple(state), preview)
+
+        active = np.array([0, 2])
+        plans = vec.plan_batch(
+            (self.STATES + 1.0)[active],
+            self.PREVIEWS[active],
+            indices=active,
+        )
+        assert len(plans) == 2
+        for plan, j in zip(plans, active):
+            ref_plan = refs[j].plan(tuple(self.STATES[j] + 1.0), self.PREVIEWS[j])
+            self._assert_plans_equal(plan, ref_plan)
+        # the skipped scenario's bookkeeping did not move
+        assert vec.stats[1].solves == 1
+        assert vec.stats[1] == refs[1].stats
+
+    def test_reset_clears_all_columns(self):
+        vec, _ = self._planner_pair()
+        vec.plan_batch(self.STATES, self.PREVIEWS)
+        vec.reset()
+        assert all(s.solves == 0 for s in vec.stats)
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MPCPlannerVec([])
+
+    def test_rejects_models_varying_beyond_bank_energy(self):
+        """Only ecap may differ in a group; different weights mean the
+        group was mis-keyed upstream."""
+        models = [make_model(), make_model(weights=CostWeights(w1=123.0))]
+        with pytest.raises(ValueError, match="lockstep MPC group"):
+            MPCPlannerVec(models)
+
+    def test_rejects_wrong_state_shape(self):
+        vec, _ = self._planner_pair()
+        with pytest.raises(ValueError, match="states"):
+            vec.plan_batch(self.STATES[:2], self.PREVIEWS)
 
 
 class TestSLSQPBackend:

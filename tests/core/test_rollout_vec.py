@@ -169,6 +169,97 @@ class TestGuardBranches:
             assert math.isclose(costs[i], ref, rel_tol=REL_TOL)
 
 
+class TestStackedKernel:
+    """`rollout_costs_stacked`: per-row states/previews/bank energies.
+
+    The stacked entry point exists so :class:`repro.core.mpc.MPCPlannerVec`
+    can evaluate many scenarios' candidates in one kernel call.  Stacking
+    must be free: every row's cost is *bitwise* the cost the per-scenario
+    batched call produces (all operations are elementwise over rows), and
+    therefore within the 1e-9 budget of the scalar reference.
+    """
+
+    N = 6
+    DT = 5.0
+
+    def _rows(self):
+        states = np.array(
+            [
+                (300.0, 299.0, 80.0, 70.0),
+                (308.0, 306.0, 60.0, 15.0),
+                (294.0, 295.0, 90.0, 40.0),
+            ]
+        )
+        previews = np.array(
+            [
+                [15_000.0] * self.N,
+                [45_000.0] * self.N,
+                [-5_000.0] * self.N,
+            ]
+        )
+        cap = np.array(
+            [[8_000.0] * self.N, [35_000.0] * self.N, [-20_000.0] * self.N]
+        )
+        inlet = np.array(
+            [[292.0] * self.N, [315.0] * self.N, [288.15] * self.N]
+        )
+        return states, previews, cap, inlet
+
+    def test_rows_match_per_scenario_batched_calls_bitwise(self):
+        states, previews, cap, inlet = self._rows()
+        stacked = BATCH.rollout_costs_stacked(
+            states, cap, inlet, previews, self.DT
+        )
+        assert stacked.shape == (3,)
+        for i in range(3):
+            (ref,) = BATCH.rollout_costs(
+                tuple(states[i]), cap[i : i + 1], inlet[i : i + 1],
+                previews[i], self.DT,
+            )
+            assert stacked[i] == ref, i  # bitwise
+
+    def test_rows_match_scalar_reference(self):
+        states, previews, cap, inlet = self._rows()
+        stacked = BATCH.rollout_costs_stacked(
+            states, cap, inlet, previews, self.DT
+        )
+        for i in range(3):
+            ref = SCALAR.rollout_cost(
+                tuple(states[i]), cap[i], inlet[i], previews[i], self.DT
+            )
+            assert math.isclose(stacked[i], ref, rel_tol=REL_TOL), i
+
+    def test_per_row_bank_energy(self):
+        """Rows may come from scenarios with different ultracap sizes."""
+        small = UltracapParams(capacitance_f=5_000.0)
+        scalar_small = PredictionModel(
+            DEFAULT_PACK,
+            small,
+            DEFAULT_COOLANT,
+            default_battery_converter(BatteryPack(DEFAULT_PACK)),
+            default_cap_converter(UltracapBank(small)),
+            CostWeights(),
+        )
+        states, previews, cap, inlet = self._rows()
+        ecap = np.array(
+            [SCALAR.ecap, scalar_small.ecap, SCALAR.ecap]
+        )
+        stacked = BATCH.rollout_costs_stacked(
+            states, cap, inlet, previews, self.DT, ecap=ecap
+        )
+        refs = [SCALAR, scalar_small, SCALAR]
+        for i in range(3):
+            ref = refs[i].rollout_cost(
+                tuple(states[i]), cap[i], inlet[i], previews[i], self.DT
+            )
+            assert math.isclose(stacked[i], ref, rel_tol=REL_TOL), i
+        # the bank size actually matters for the discharging rows
+        uniform = BATCH.rollout_costs_stacked(
+            states, cap, inlet, previews, self.DT
+        )
+        assert stacked[1] != uniform[1]
+
+
 class TestBatchInterface:
     def test_from_scalar_shares_parameters(self):
         vec = BatchPredictionModel.from_scalar(SCALAR)

@@ -296,7 +296,10 @@ class TestLockstepRouting:
             "scalar",
         ]
 
-    def test_mpc_cells_always_stay_scalar(self):
+    def test_scalar_backend_mpc_cells_stay_scalar(self):
+        """Routing a scalar-backend OTEM cell through lockstep would
+        silently switch its solver backend, so even forced lockstep
+        leaves it on the scalar engine."""
         otem = Scenario(
             methodology="otem",
             cycle="nycc",
@@ -346,6 +349,105 @@ class TestLockstepRouting:
         assert "no-such-cycle" in batch.cells[1].error
         assert batch.cells[0].engine_backend == "scalar"
         assert batch.methodology == "serial"  # nothing stayed on lockstep
+
+
+#: A fast lockstep-eligible OTEM scenario (vectorized backend, tiny solver).
+OTEM_VEC = Scenario(
+    methodology="otem",
+    cycle="nycc",
+    rollout_backend="vectorized",
+    mpc_horizon=4,
+    mpc_step_s=30.0,
+    mpc_max_evals=10,
+)
+
+
+class TestMPCLockstepRouting:
+    """OTEM ensembles on the lockstep engine (vectorized backend only)."""
+
+    def test_auto_routes_mpc_groups_to_lockstep(self):
+        grid = [
+            OTEM_VEC,
+            dataclasses.replace(OTEM_VEC, ucap_farads=5_000.0),
+        ]
+        batch = run_batch(grid)  # execution="auto"
+        assert batch.ok
+        assert batch.methodology == "lockstep"
+        assert [c.engine_backend for c in batch.cells] == ["lockstep"] * 2
+        assert all(c.solver is not None and c.solver.solves > 0 for c in batch.cells)
+
+    def test_auto_keeps_mpc_singletons_scalar(self):
+        batch = run_batch([OTEM_VEC])
+        assert batch.ok
+        assert batch.cells[0].engine_backend == "scalar"
+
+    def test_solver_shape_splits_groups(self):
+        """Two OTEM cells with different horizons cannot share a replan
+        wave; each becomes a singleton and stays scalar under auto."""
+        grid = [OTEM_VEC, dataclasses.replace(OTEM_VEC, mpc_horizon=5)]
+        batch = run_batch(grid)
+        assert batch.ok
+        assert [c.engine_backend for c in batch.cells] == ["scalar"] * 2
+
+    def test_rows_surface_winner_attribution(self):
+        grid = [OTEM_VEC, dataclasses.replace(OTEM_VEC, perturb_seed=1)]
+        batch = run_batch(grid)
+        for row, cell in zip(batch.rows(), batch.cells):
+            assert row["solver_backend"] == "vectorized"
+            wins = (
+                row["solver_wins_warm"]
+                + row["solver_wins_neutral"]
+                + row["solver_wins_full_cool"]
+            )
+            assert wins == cell.solver.solves > 0
+
+    def test_mpc_group_failure_reroutes_mixed_grid(self, monkeypatch):
+        """A failing lockstep MPC group re-routes every member to the
+        crash-isolated scalar path while baseline groups stay lockstep."""
+        import repro.sim.batch as batch_mod
+
+        real = batch_mod.run_lockstep
+
+        def explode_on_otem(scenarios):
+            if any(s.methodology == "otem" for s in scenarios):
+                raise RuntimeError("solver wave diverged")
+            return real(scenarios)
+
+        monkeypatch.setattr(batch_mod, "run_lockstep", explode_on_otem)
+        grid = [
+            GRID[0],
+            OTEM_VEC,
+            GRID[1],
+            dataclasses.replace(OTEM_VEC, ucap_farads=5_000.0),
+        ]
+        batch = run_batch(grid)
+        assert batch.ok  # every cell recovered on the scalar path
+        assert [c.engine_backend for c in batch.cells] == [
+            "lockstep",
+            "scalar",
+            "lockstep",
+            "scalar",
+        ]
+        assert batch.methodology == "lockstep+serial"
+        assert all(
+            c.solver is not None
+            for c in batch.cells
+            if c.scenario.methodology == "otem"
+        )
+
+    def test_old_solver_pickles_default_to_zero_wins(self):
+        """Pre-schema-4 SolverStats lack the wins_* fields."""
+        from repro.core.mpc import SolverStats
+        from repro.sim.batch import BatchResult
+
+        stats = SolverStats(solves=2, total_iterations=5, last_cost=1.0)
+        for field in ("wins_warm", "wins_neutral", "wins_full_cool"):
+            object.__delattr__(stats, field)
+        cell = BatchCell(index=0, scenario=GRID[0], solver=stats)
+        row = BatchResult(cells=(cell,), wall_s=0.0, workers=0).rows()[0]
+        assert row["solver_wins_warm"] == 0
+        assert row["solver_wins_neutral"] == 0
+        assert row["solver_wins_full_cool"] == 0
 
 
 class TestEngineBackendCache:

@@ -72,7 +72,9 @@ def assert_column_equivalent(scalar_result, lockstep_result):
             assert lm[key] == value, key
     assert lockstep_result.controller_name == scalar_result.controller_name
     assert lockstep_result.cycle_name == scalar_result.cycle_name
-    assert lockstep_result.solver is None
+    # baselines: both None.  OTEM: identical SolverStats - same solves,
+    # iterations, last cost, and winner attribution as the scalar engine.
+    assert lockstep_result.solver == scalar_result.solver
 
 
 class TestScalarEquivalence:
@@ -154,13 +156,20 @@ class TestGrouping:
                 ]
             )
 
-    def test_unsupported_methodology_rejected(self):
+    def test_scalar_backend_otem_rejected(self):
+        """Default (scalar-backend) OTEM stays off the lockstep engine:
+        routing it would silently switch solver backends."""
         assert not lockstep_supported(Scenario(methodology="otem"))
-        with pytest.raises(ValueError, match="no batched policy"):
+        with pytest.raises(ValueError, match="rollout_backend='vectorized'"):
             run_lockstep([Scenario(methodology="otem", cycle="nycc")])
 
-    def test_supported_set_is_the_four_baselines(self):
-        assert LOCKSTEP_METHODOLOGIES == set(BASELINES)
+    def test_vectorized_backend_otem_supported(self):
+        assert lockstep_supported(
+            Scenario(methodology="otem", rollout_backend="vectorized")
+        )
+
+    def test_supported_set_is_baselines_plus_otem(self):
+        assert LOCKSTEP_METHODOLOGIES == set(BASELINES) | {"otem"}
 
     def test_key_ignores_per_column_knobs(self):
         a = Scenario(methodology="dual", cycle="nycc")
@@ -171,3 +180,76 @@ class TestGrouping:
         assert lockstep_key(a) != lockstep_key(
             dataclasses.replace(a, methodology="parallel")
         )
+
+    def test_otem_key_pins_the_solver_shape(self):
+        """OTEM groups must share horizon/step/budget/weights (MPCPlannerVec
+        races every scenario with one driver); bank size and route stay
+        per-column."""
+        a = Scenario(methodology="otem", rollout_backend="vectorized")
+        b = dataclasses.replace(a, cycle="nycc", ucap_farads=5_000.0, perturb_seed=2)
+        assert lockstep_key(a) == lockstep_key(b)
+        for change in (
+            {"mpc_horizon": 4},
+            {"mpc_step_s": 30.0},
+            {"mpc_max_evals": 10},
+        ):
+            assert lockstep_key(a) != lockstep_key(
+                dataclasses.replace(a, **change)
+            ), change
+
+
+class TestOTEMLockstep:
+    """Lockstep MPC columns against the scalar engine (vectorized backend).
+
+    The contract mirrors the baselines': bitwise per channel with the two
+    documented ulp exceptions, plus *identical* SolverStats - the batched
+    planner replays each scenario's exact solve sequence (same starts,
+    same budgets, same winner races), so solves, iterations, last cost,
+    and winner attribution must all match the per-scenario reference.
+    """
+
+    #: Small solver shape so the ~20 replans per nycc column stay fast.
+    KNOBS = dict(
+        methodology="otem",
+        cycle="nycc",
+        rollout_backend="vectorized",
+        mpc_horizon=4,
+        mpc_step_s=30.0,
+        mpc_max_evals=20,
+    )
+
+    def test_heterogeneous_group_matches_scalar_engine(self):
+        """Mixed bank sizes and initial temperatures in one replan wave."""
+        scenarios = [
+            Scenario(**self.KNOBS),
+            Scenario(**self.KNOBS, ucap_farads=5_000.0),
+            Scenario(**self.KNOBS, initial_temp_k=305.0),
+        ]
+        lockstep = run_lockstep_group(scenarios)
+        for scenario, result in zip(scenarios, lockstep):
+            assert_column_equivalent(run_scenario(scenario), result)
+            assert result.solver is not None and result.solver.solves > 0
+
+    def test_ragged_routes_stop_replanning_at_their_own_end(self):
+        """Perturbed routes have different lengths; a short column must not
+        keep solving in the zero-padded tail (its stats would diverge
+        from the scalar engine, which stops at the route end)."""
+        scenarios = [
+            Scenario(**self.KNOBS),
+            Scenario(**self.KNOBS, perturb_seed=3, initial_temp_k=303.0),
+            Scenario(**self.KNOBS, perturb_seed=7, ucap_farads=5_000.0),
+        ]
+        lockstep = run_lockstep_group(scenarios)
+        lengths = {len(r.trace) for r in lockstep}
+        assert len(lengths) > 1  # genuinely ragged
+        for scenario, result in zip(scenarios, lockstep):
+            assert_column_equivalent(run_scenario(scenario), result)
+
+    def test_winner_attribution_matches_and_is_populated(self):
+        scenarios = [Scenario(**self.KNOBS), Scenario(**self.KNOBS, perturb_seed=1)]
+        lockstep = run_lockstep_group(scenarios)
+        for result in lockstep:
+            s = result.solver
+            wins = s.wins_warm + s.wins_neutral + s.wins_full_cool
+            assert wins == s.solves
+            assert s.wins_warm > 0  # warm starts win most replans
