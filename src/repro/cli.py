@@ -8,6 +8,9 @@ Commands
 ``cycles``   list the built-in drive cycles and their statistics.
 ``export``   run a scenario and write the full trace to CSV.
 ``batch``    fan a scenario grid out over worker processes, with caching.
+``serve``    start the sweep service (durable store + HTTP API).
+``submit``   submit a sweep to a running service (optionally wait).
+``query``    query a sweep's status or rows from a running service.
 """
 
 from __future__ import annotations
@@ -55,46 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
             "repro.sim.batch.run_batch with crash isolation per cell."
         ),
     )
-    batch.add_argument(
-        "--methodology",
-        "-m",
-        action="append",
-        choices=METHODOLOGIES,
-        help="methodology axis (repeatable; default: otem)",
-    )
-    batch.add_argument(
-        "--cycle",
-        "-c",
-        action="append",
-        help="drive-cycle axis (repeatable; default: us06)",
-    )
-    batch.add_argument(
-        "--ucap-farads",
-        action="append",
-        type=float,
-        help="bank-size axis [F] (repeatable; default: 25000)",
-    )
-    batch.add_argument(
-        "--initial-temp-c",
-        action="append",
-        type=float,
-        help="start-temperature axis [C] (repeatable; default: 24.85)",
-    )
-    batch.add_argument(
-        "--rollout-backend",
-        action="append",
-        choices=("scalar", "vectorized"),
-        help="MPC rollout-backend axis (repeatable; default: scalar)",
-    )
-    batch.add_argument(
-        "--seeds",
-        type=int,
-        default=0,
-        help="traffic-perturbation axis: members 0..N-1 (default: off)",
-    )
-    batch.add_argument(
-        "--repeat", "-r", type=int, default=1, help="cycle repetitions (default: 1)"
-    )
+    _add_grid_args(batch)
     batch.add_argument(
         "--workers",
         "-j",
@@ -138,7 +102,171 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the batch's BENCH-format JSON payload to this file",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="start the sweep service (durable store + HTTP API)",
+        description=(
+            "Serve POST /sweeps, GET /sweeps/<id>[/rows], DELETE "
+            "/sweeps/<id>, /healthz and /metrics over a persistent "
+            "experiment store; restarts resume from stored results."
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8563, help="bind port (default: 8563)"
+    )
+    serve.add_argument(
+        "--store-dir",
+        default=".repro_store",
+        help="experiment-store directory (default: .repro_store)",
+    )
+    serve.add_argument(
+        "--job-workers",
+        type=int,
+        default=2,
+        help="concurrent sweep jobs (default: 2)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="default per-job wall-clock budget [s] (default: none)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request logging"
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running service",
+        description=(
+            "Build a sweep spec from the grid flags (same semantics as "
+            "'repro batch') or load one from --spec, POST it, and "
+            "optionally wait for completion."
+        ),
+    )
+    _add_grid_args(submit)
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8563",
+        help="service base URL (default: http://127.0.0.1:8563)",
+    )
+    submit.add_argument(
+        "--spec",
+        default=None,
+        help="JSON sweep-spec file ('-' for stdin); overrides the grid flags",
+    )
+    submit.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=0,
+        help="worker processes for scalar cells (default: 0 = in-process)",
+    )
+    submit.add_argument(
+        "--engine-backend",
+        choices=("auto", "lockstep", "scalar"),
+        default="auto",
+        help="engine selection forwarded to run_batch (default: auto)",
+    )
+    submit.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="whole-job wall-clock budget [s] (default: service default)",
+    )
+    submit.add_argument("--tag", default="", help="free-form label for the sweep")
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the sweep finishes and print a row summary",
+    )
+    submit.add_argument(
+        "--poll-timeout",
+        type=float,
+        default=600.0,
+        help="--wait polling budget [s] (default: 600)",
+    )
+
+    query = sub.add_parser(
+        "query",
+        help="query a sweep's status or rows from a running service",
+        description=(
+            "Without flags prints the sweep's status record; --rows fetches "
+            "the tidy rows (key=value arguments filter by row fields)."
+        ),
+    )
+    query.add_argument("sweep_id", nargs="?", help="sweep id (omit to list all)")
+    query.add_argument(
+        "--url",
+        default="http://127.0.0.1:8563",
+        help="service base URL (default: http://127.0.0.1:8563)",
+    )
+    query.add_argument(
+        "--rows", action="store_true", help="fetch rows instead of status"
+    )
+    query.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print the raw JSON payload",
+    )
+    query.add_argument(
+        "--filter",
+        dest="filters",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help="row filter (repeatable; with --rows)",
+    )
+
     return parser
+
+
+def _add_grid_args(parser: argparse.ArgumentParser):
+    """The cross-product grid flags shared by ``batch`` and ``submit``."""
+    parser.add_argument(
+        "--methodology",
+        "-m",
+        action="append",
+        choices=METHODOLOGIES,
+        help="methodology axis (repeatable; default: otem)",
+    )
+    parser.add_argument(
+        "--cycle",
+        "-c",
+        action="append",
+        help="drive-cycle axis (repeatable; default: us06)",
+    )
+    parser.add_argument(
+        "--ucap-farads",
+        action="append",
+        type=float,
+        help="bank-size axis [F] (repeatable; default: 25000)",
+    )
+    parser.add_argument(
+        "--initial-temp-c",
+        action="append",
+        type=float,
+        help="start-temperature axis [C] (repeatable; default: 24.85)",
+    )
+    parser.add_argument(
+        "--rollout-backend",
+        action="append",
+        choices=("scalar", "vectorized"),
+        help="MPC rollout-backend axis (repeatable; default: scalar)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=0,
+        help="traffic-perturbation axis: members 0..N-1 (default: off)",
+    )
+    parser.add_argument(
+        "--repeat", "-r", type=int, default=1, help="cycle repetitions (default: 1)"
+    )
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser, with_methodology: bool = True):
@@ -267,11 +395,8 @@ def cmd_export(args, out) -> int:
     return 0
 
 
-def cmd_batch(args, out) -> int:
-    import json
-
-    from repro.sim.batch import ResultCache, run_batch, scenario_grid
-
+def _grid_from_args(args) -> tuple:
+    """(base scenario, axes) from the shared grid flags (batch + submit)."""
     base = Scenario(repeat=args.repeat)
     axes = {
         "methodology": args.methodology or ["otem"],
@@ -280,6 +405,15 @@ def cmd_batch(args, out) -> int:
         "initial_temp_k": [t + 273.15 for t in (args.initial_temp_c or [24.85])],
         "rollout_backend": args.rollout_backend or ["scalar"],
     }
+    return base, axes
+
+
+def cmd_batch(args, out) -> int:
+    import json
+
+    from repro.sim.batch import ResultCache, run_batch, scenario_grid
+
+    base, axes = _grid_from_args(args)
     if args.seeds:
         axes["perturb_seed"] = list(range(args.seeds))
     scenarios = scenario_grid(base, **axes)
@@ -334,6 +468,164 @@ def cmd_batch(args, out) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_serve(args, out) -> int:
+    from repro.service import serve
+
+    server = serve(
+        args.store_dir,
+        host=args.host,
+        port=args.port,
+        worker_threads=args.job_workers,
+        default_timeout_s=args.job_timeout,
+        quiet=args.quiet,
+    )
+    print(
+        f"serving sweeps on {server.url} "
+        f"(store: {server.store.directory}, {args.job_workers} job worker(s))",
+        file=out,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+        server.shutdown()
+    return 0
+
+
+def _print_progress(record, out):
+    print(
+        f"  {record['status']}: {record['done_cells']}/{record['total']} cells "
+        f"({record['failed_cells']} failed)",
+        file=out,
+    )
+
+
+def cmd_submit(args, out) -> int:
+    import json
+
+    from repro.service import ServiceError, SweepClient, SweepSpec
+
+    if args.spec:
+        text = (
+            sys.stdin.read()
+            if args.spec == "-"
+            else open(args.spec).read()
+        )
+        spec = SweepSpec.from_json(text)
+    else:
+        base, axes = _grid_from_args(args)
+        spec = SweepSpec(
+            base=base,
+            axes=axes,
+            seeds=args.seeds,
+            workers=args.workers,
+            execution=args.engine_backend,
+            timeout_s=args.job_timeout,
+            tag=args.tag,
+        )
+
+    client = SweepClient(args.url)
+    try:
+        accepted = client.submit(spec.to_dict())
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=out)
+        return 1
+    sweep_id = accepted["sweep_id"]
+    print(f"submitted {sweep_id} ({accepted['total']} cells)", file=out)
+    if not args.wait:
+        return 0
+
+    last = {"done": -1}
+
+    def on_progress(record):
+        if record["done_cells"] != last["done"]:
+            last["done"] = record["done_cells"]
+            _print_progress(record, out)
+
+    try:
+        record = client.wait(
+            sweep_id, timeout_s=args.poll_timeout, on_progress=on_progress
+        )
+    except TimeoutError as exc:
+        print(f"wait aborted: {exc}", file=out)
+        return 1
+    rows = client.rows(sweep_id)["rows"]
+    print(
+        f"{record['status']}: {len(rows)} row(s), "
+        f"{record['failed_cells']} failed cell(s)",
+        file=out,
+    )
+    print(json.dumps(record["engine_backends"], sort_keys=True), file=out)
+    return 0 if record["status"] == "done" else 1
+
+
+def cmd_query(args, out) -> int:
+    import json
+
+    from repro.service import ServiceError, SweepClient
+
+    client = SweepClient(args.url)
+    try:
+        if args.sweep_id is None:
+            records = client.list()
+            if args.as_json:
+                print(json.dumps(records, indent=2, sort_keys=True), file=out)
+                return 0
+            print(f"{'sweep id':>14} {'status':>10} {'cells':>12} {'tag':>10}", file=out)
+            for r in records:
+                print(
+                    f"{r['sweep_id']:>14} {r['status']:>10} "
+                    f"{r['done_cells']}/{r['total']:<10} {r.get('tag', ''):>10}",
+                    file=out,
+                )
+            return 0
+        if not args.rows:
+            record = client.status(args.sweep_id)
+            print(json.dumps(record, indent=2, sort_keys=True), file=out)
+            return 0
+        filters = {}
+        for pair in args.filters:
+            if "=" not in pair:
+                print(f"bad filter {pair!r} (expected field=value)", file=out)
+                return 2
+            key, value = pair.split("=", 1)
+            filters[key] = value
+        payload = client.rows(args.sweep_id, **filters)
+    except ServiceError as exc:
+        print(f"query failed: {exc}", file=out)
+        return 1
+    if args.as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    rows = payload["rows"]
+    print(
+        f"{'methodology':>12} {'cycle':>10} {'size [F]':>9} "
+        f"{'Qloss [%]':>10} {'peak T [C]':>11} {'engine':>9}",
+        file=out,
+    )
+    for row in rows:
+        if row.get("error"):
+            print(
+                f"{row['methodology']:>12} {row['cycle']:>10} "
+                f"{row['ucap_farads']:>9.0f} FAILED: {row['error']}",
+                file=out,
+            )
+            continue
+        print(
+            f"{row['methodology']:>12} {row['cycle']:>10} "
+            f"{row['ucap_farads']:>9.0f} {row['qloss_percent']:>10.4f} "
+            f"{kelvin_to_celsius(row['peak_temp_k']):>11.1f} "
+            f"{row['engine_backend']:>9}",
+            file=out,
+        )
+    print(
+        f"{len(rows)} row(s), status {payload['status']}"
+        + ("" if payload["complete"] else " (incomplete)"),
+        file=out,
+    )
+    return 0
+
+
 _COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
@@ -341,6 +633,9 @@ _COMMANDS = {
     "cycles": cmd_cycles,
     "export": cmd_export,
     "batch": cmd_batch,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "query": cmd_query,
 }
 
 

@@ -1,0 +1,127 @@
+"""Tiny stdlib client for the sweep service (urllib only).
+
+Used by the ``repro submit`` / ``repro query`` CLI commands and the
+service tests; any HTTP client works against the same endpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+
+class ServiceError(RuntimeError):
+    """An error response from the sweep service (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class SweepClient:
+    """Client for one sweep-service base URL.
+
+    Parameters
+    ----------
+    url:
+        Base URL, e.g. ``http://127.0.0.1:8563``.
+    timeout_s:
+        Per-request socket timeout.
+    """
+
+    def __init__(self, url: str, timeout_s: float = 30.0):
+        self._url = url.rstrip("/")
+        self._timeout_s = timeout_s
+
+    @property
+    def url(self) -> str:
+        """The base URL requests go to."""
+        return self._url
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self._url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self._timeout_s) as resp:
+                raw = resp.read()
+                content_type = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServiceError(exc.code, detail) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self._url}: {exc.reason}") from None
+        if content_type.startswith("application/json"):
+            return json.loads(raw)
+        return raw.decode()
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+
+    def healthz(self) -> dict:
+        """Liveness probe."""
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus-style ``/metrics`` exposition."""
+        return self._request("GET", "/metrics")
+
+    def submit(self, spec: dict) -> dict:
+        """Submit a sweep spec document; returns the acceptance record."""
+        return self._request("POST", "/sweeps", body=spec)
+
+    def list(self) -> list:
+        """Status records of every known sweep."""
+        return self._request("GET", "/sweeps")["sweeps"]
+
+    def status(self, sweep_id: str) -> dict:
+        """Status + progress of one sweep."""
+        return self._request("GET", f"/sweeps/{sweep_id}")
+
+    def rows(self, sweep_id: str, **filters) -> dict:
+        """Rows payload, optionally filtered by row-field equality."""
+        path = f"/sweeps/{sweep_id}/rows"
+        if filters:
+            path += "?" + urllib.parse.urlencode(filters)
+        return self._request("GET", path)
+
+    def cancel(self, sweep_id: str) -> dict:
+        """Cancel a queued/running sweep."""
+        return self._request("DELETE", f"/sweeps/{sweep_id}")
+
+    def wait(
+        self,
+        sweep_id: str,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.2,
+        on_progress=None,
+    ) -> dict:
+        """Poll until the sweep reaches a terminal state; returns its record.
+
+        ``on_progress`` (optional) receives each polled status record -
+        the CLI uses it to print live progress.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.status(sweep_id)
+            if on_progress is not None:
+                on_progress(record)
+            if record["status"] in ("done", "failed", "cancelled", "interrupted"):
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"sweep {sweep_id} still {record['status']} after "
+                    f"{timeout_s:g} s"
+                )
+            time.sleep(poll_s)

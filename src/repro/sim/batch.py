@@ -16,7 +16,9 @@ SummaryMetrics` into a :class:`BatchResult`:
 * **content-addressed caching** - an on-disk store keyed by a fingerprint
   of the full scenario (controller, pack, vehicle, coolant, weights, MPC
   knobs) plus the engine backend assigned to the cell, so repeated sweeps
-  and CI re-runs skip already-computed cells;
+  and CI re-runs skip already-computed cells; pass ``store=`` (a
+  :class:`repro.store.ExperimentStore`) instead of ``cache=`` for the
+  durable SQLite+npz variant the sweep service resumes from;
 * **lockstep vectorization** - cells that share an architecture (and,
   for OTEM, a solver shape) are batched onto the struct-of-arrays engine
   (:mod:`repro.sim.engine_vec`), advancing the whole group per NumPy step
@@ -62,6 +64,10 @@ EXECUTION_MODES = ("auto", "lockstep", "scalar")
 
 #: Default cache directory (created on first use; gitignored).
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Error string marking cells skipped by a :func:`run_batch` ``cancel``
+#: hook (the sweep service matches on the ``"cancelled"`` prefix).
+_CANCELLED_ERROR = "cancelled: sweep cancelled before this cell ran"
 
 
 # ---------------------------------------------------------------------- #
@@ -276,48 +282,7 @@ class BatchResult:
         The flat format :mod:`repro.analysis.tables`/``figures`` and the
         ``BENCH_*.json`` trajectory files consume.
         """
-        out = []
-        for cell in self.cells:
-            s = cell.scenario
-            row = {
-                "index": cell.index,
-                "methodology": s.methodology,
-                "cycle": s.cycle,
-                "repeat": s.repeat,
-                "ucap_farads": s.ucap_farads,
-                "initial_temp_k": s.initial_temp_k,
-                "rollout_backend": s.rollout_backend,
-                "perturb_seed": s.perturb_seed,
-                "controller": cell.controller_name,
-                "wall_s": cell.wall_s,
-                "cached": cell.cached,
-                "engine_backend": cell.engine_backend,
-                "error": cell.error,
-            }
-            if cell.metrics is not None:
-                for f in dataclasses.fields(cell.metrics):
-                    row[f.name] = getattr(cell.metrics, f.name)
-            if cell.solver is not None:
-                row["solver_solves"] = cell.solver.solves
-                row["solver_iterations"] = cell.solver.total_iterations
-                # None (JSON null), never NaN: a controller that never
-                # replanned leaves last_cost at its NaN sentinel, which
-                # json.dumps emits as bare `NaN` - invalid JSON to strict
-                # consumers.
-                row["solver_last_cost"] = cell.solver.last_cost_or_none
-                # pre-schema-2 pickles lack the field
-                row["solver_backend"] = getattr(cell.solver, "backend", "scalar")
-                # winner attribution (schema 4+; getattr for old pickles):
-                # which start seed won each replan race
-                row["solver_wins_warm"] = getattr(cell.solver, "wins_warm", 0)
-                row["solver_wins_neutral"] = getattr(
-                    cell.solver, "wins_neutral", 0
-                )
-                row["solver_wins_full_cool"] = getattr(
-                    cell.solver, "wins_full_cool", 0
-                )
-            out.append(row)
-        return out
+        return [cell_row(cell) for cell in self.cells]
 
     def bench_payload(self) -> dict:
         """The ``BENCH_batch.json`` fragment describing this run."""
@@ -330,6 +295,51 @@ class BatchResult:
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
             "rows": self.rows(),
         }
+
+
+def cell_row(cell: BatchCell) -> dict:
+    """One tidy row for ``cell``: scenario knobs + metrics + solver stats.
+
+    Module-level so incremental consumers (the sweep service's progress
+    callback) can build rows cell-by-cell as a batch completes, instead of
+    waiting for the whole :class:`BatchResult`.
+    """
+    s = cell.scenario
+    row = {
+        "index": cell.index,
+        "methodology": s.methodology,
+        "cycle": s.cycle,
+        "repeat": s.repeat,
+        "ucap_farads": s.ucap_farads,
+        "initial_temp_k": s.initial_temp_k,
+        "rollout_backend": s.rollout_backend,
+        "perturb_seed": s.perturb_seed,
+        "controller": cell.controller_name,
+        "wall_s": cell.wall_s,
+        "cached": cell.cached,
+        "engine_backend": cell.engine_backend,
+        "error": cell.error,
+    }
+    if cell.metrics is not None:
+        for f in dataclasses.fields(cell.metrics):
+            row[f.name] = getattr(cell.metrics, f.name)
+    if cell.solver is not None:
+        row["solver_solves"] = cell.solver.solves
+        row["solver_iterations"] = cell.solver.total_iterations
+        # None (JSON null), never NaN: a controller that never replanned
+        # leaves last_cost at its NaN sentinel, which json.dumps emits as
+        # bare `NaN` - invalid JSON to strict consumers.
+        row["solver_last_cost"] = cell.solver.last_cost_or_none
+        # pre-schema-2 pickles lack the field
+        row["solver_backend"] = getattr(cell.solver, "backend", "scalar")
+        # winner attribution (schema 4+; getattr for old pickles):
+        # which start seed won each replan race
+        row["solver_wins_warm"] = getattr(cell.solver, "wins_warm", 0)
+        row["solver_wins_neutral"] = getattr(cell.solver, "wins_neutral", 0)
+        row["solver_wins_full_cool"] = getattr(
+            cell.solver, "wins_full_cool", 0
+        )
+    return row
 
 
 def _lockstep_assignment(scenarios: list, execution: str) -> set:
@@ -362,8 +372,11 @@ def run_batch(
     workers: int = 0,
     cache: ResultCache | None = None,
     cache_dir: str | os.PathLike | None = None,
+    store=None,
     timeout_s: float | None = None,
     on_cell: Callable[[BatchCell], None] | None = None,
+    on_cell_done: Callable[[BatchCell], None] | None = None,
+    cancel: Callable[[], bool] | None = None,
     execution: str = "auto",
 ) -> BatchResult:
     """Run a grid of scenarios, optionally in parallel and cached.
@@ -386,13 +399,28 @@ def run_batch(
         Pass a :class:`ResultCache` (or just a directory) to skip cells
         whose fingerprint is already stored and to store fresh results.
         ``None`` (default) disables caching.
+    store:
+        A :class:`repro.store.ExperimentStore` (or anything with the same
+        ``get``/``put``/``hits``/``misses`` surface) used exactly like
+        ``cache`` but durable and queryable: previously computed cells are
+        skipped across processes, sessions, and service restarts.
+        Mutually exclusive with ``cache``/``cache_dir``.
     timeout_s:
         Best-effort per-cell wall-clock budget (scalar pool mode only): a
         cell still pending that long after its turn comes up is marked
         failed with a timeout error and abandoned.
-    on_cell:
+    on_cell / on_cell_done:
         Progress callback invoked with each finished :class:`BatchCell`
-        in completion order (serial mode: submission order).
+        in completion order (serial mode: submission order; lockstep
+        groups report their cells when the group completes).
+        ``on_cell_done`` is the canonical name; ``on_cell`` remains as a
+        back-compat alias and at most one may be passed.
+    cancel:
+        Cooperative cancellation hook: a zero-argument callable polled
+        before each pending cell (and each lockstep group) starts.  Once
+        it returns True, every not-yet-computed cell is marked failed
+        with a ``"cancelled: ..."`` error instead of being computed;
+        already-finished cells and cache hits are unaffected.
     execution:
         Engine selection: ``"auto"`` (default) routes supported cells
         with at least one group-mate onto the lockstep struct-of-arrays
@@ -417,6 +445,11 @@ def run_batch(
         raise ValueError(
             f"unknown execution mode {execution!r}; choose from {EXECUTION_MODES}"
         )
+    if on_cell is not None and on_cell_done is not None:
+        raise ValueError("pass on_cell_done or its alias on_cell, not both")
+    on_cell_done = on_cell_done if on_cell_done is not None else on_cell
+    if store is not None and (cache is not None or cache_dir is not None):
+        raise ValueError("pass store or cache/cache_dir, not both")
     scalar_methodology = "serial"
     if workers >= 2:
         if (os.cpu_count() or 1) <= 1:
@@ -424,10 +457,13 @@ def run_batch(
             scalar_methodology = "serial-fallback"
         else:
             scalar_methodology = "process-pool"
-    if cache is None and cache_dir is not None:
+    if store is not None:
+        cache = store
+    elif cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
     hits0 = cache.hits if cache else 0
     misses0 = cache.misses if cache else 0
+    cancelled = cancel if cancel is not None else (lambda: False)
 
     lockstep_cells = _lockstep_assignment(scenarios, execution)
 
@@ -439,8 +475,8 @@ def run_batch(
 
     def finish(index: int, cell: BatchCell) -> None:
         cells[index] = cell
-        if on_cell is not None:
-            on_cell(cell)
+        if on_cell_done is not None:
+            on_cell_done(cell)
 
     def from_payload(
         index: int, payload: CellPayload, cached: bool
@@ -491,6 +527,10 @@ def run_batch(
         for i in lock_pending:
             groups.setdefault(lockstep_key(scenarios[i]), []).append(i)
         for indices in groups.values():
+            if cancelled():
+                for i in indices:
+                    complete(i, None, _CANCELLED_ERROR)
+                continue
             t0 = time.perf_counter()
             try:
                 results = run_lockstep([scenarios[i] for i in indices])
@@ -525,6 +565,9 @@ def run_batch(
 
     if workers <= 1:
         for i in scalar_pending:
+            if cancelled():
+                complete(i, None, _CANCELLED_ERROR)
+                continue
             payload, error = _guarded_cell(scenarios[i])
             complete(i, payload, error)
     elif scalar_pending:
@@ -534,6 +577,10 @@ def run_batch(
                 for i in scalar_pending
             }
             for i in scalar_pending:
+                if cancelled():
+                    futures[i].cancel()
+                    complete(i, None, _CANCELLED_ERROR)
+                    continue
                 try:
                     payload, error = futures[i].result(timeout=timeout_s)
                 except concurrent.futures.TimeoutError:

@@ -10,9 +10,12 @@ examples are thin layers over this module.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field, replace
 
 from repro.battery.pack import DEFAULT_PACK, PackConfig
+from repro.battery.params import CellParams
 from repro.controllers.base import Controller
 from repro.controllers.cooling_only import CoolingOnlyController
 from repro.controllers.dual_threshold import DualThresholdController
@@ -110,6 +113,78 @@ class Scenario:
     def cap_params(self) -> UltracapParams:
         """The bank parameter set this scenario implies."""
         return bank_of_farads(self.ucap_farads)
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip (the sweep service's wire format)
+
+    def to_dict(self) -> dict:
+        """Recursive plain-dict view (JSON-safe; see :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        """Rebuild a scenario from a (possibly partial) plain dict.
+
+        Missing fields keep their defaults, so sweep specs only name what
+        they change; unknown keys raise ``ValueError`` (catches typos in
+        hand-written specs).  Nested parameter blocks (``pack``,
+        ``vehicle``, ``coolant``, ``weights``) may themselves be partial.
+        Round-trips exactly: floats survive JSON via repr-exact encoding,
+        and ``perturb_seed`` round-trips ``None`` and ints alike.
+        """
+        return _dataclass_from_dict(cls, data, "scenario")
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Inverse of :meth:`to_json` (accepts partial documents too)."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"scenario JSON must be an object, got {data!r}")
+        return cls.from_dict(data)
+
+
+#: Dataclass-valued fields and their types, per dataclass - what
+#: :func:`_dataclass_from_dict` needs to rebuild the nested tree (the
+#: ``from __future__ import annotations`` string types make introspecting
+#: ``dataclasses.fields`` for this unreliable).
+_NESTED_FIELD_TYPES: dict = {}
+
+
+def _dataclass_from_dict(cls, data, label: str):
+    """Rebuild ``cls`` from a partial plain dict, recursing into nests."""
+    if not isinstance(data, dict):
+        raise ValueError(f"{label} must be a mapping, got {type(data).__name__}")
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - names)
+    if unknown:
+        raise ValueError(
+            f"unknown {label} field(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(names))}"
+        )
+    nested = _NESTED_FIELD_TYPES.get(cls, {})
+    kwargs = {}
+    for name, value in data.items():
+        if name in nested and value is not None:
+            value = _dataclass_from_dict(nested[name], value, f"{label}.{name}")
+        kwargs[name] = value
+    return cls(**kwargs)
+
+
+_NESTED_FIELD_TYPES.update(
+    {
+        Scenario: {
+            "pack": PackConfig,
+            "vehicle": VehicleParams,
+            "coolant": CoolantParams,
+            "weights": CostWeights,
+        },
+        PackConfig: {"cell": CellParams},
+    }
+)
 
 
 def build_controller(scenario: Scenario) -> Controller:

@@ -517,3 +517,90 @@ class TestBenchPayload:
         import json
 
         json.dumps(payload, allow_nan=False)  # strict-JSON-serializable as-is
+
+
+class TestProgressCallback:
+    def test_on_cell_done_fires_per_cell_on_scalar_path(self):
+        seen = []
+        run_batch(GRID, workers=0, execution="scalar", on_cell_done=seen.append)
+        assert [c.index for c in seen] == [0, 1, 2, 3]
+        assert all(isinstance(c, BatchCell) and c.ok for c in seen)
+
+    def test_on_cell_done_fires_per_cell_on_lockstep_path(self):
+        seen = []
+        batch = run_batch(GRID, execution="lockstep", on_cell_done=seen.append)
+        assert batch.methodology == "lockstep"
+        assert sorted(c.index for c in seen) == [0, 1, 2, 3]
+        assert all(c.engine_backend == "lockstep" for c in seen)
+
+    def test_on_cell_done_fires_on_pool_path(self):
+        seen = []
+        batch = run_batch(GRID, workers=2, execution="scalar", on_cell_done=seen.append)
+        assert batch.ok
+        assert sorted(c.index for c in seen) == [0, 1, 2, 3]
+
+    def test_on_cell_is_an_alias(self):
+        via_alias, via_canonical = [], []
+        run_batch(GRID[:2], on_cell=via_alias.append)
+        run_batch(GRID[:2], on_cell_done=via_canonical.append)
+        assert [c.index for c in via_alias] == [c.index for c in via_canonical]
+
+    def test_alias_and_canonical_together_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            run_batch(GRID[:1], on_cell=print, on_cell_done=print)
+
+    def test_failed_cells_still_reported(self):
+        bad = dataclasses.replace(GRID[0], cycle="no-such-cycle")
+        seen = []
+        run_batch([bad, GRID[1]], workers=0, on_cell_done=seen.append)
+        assert [c.ok for c in sorted(seen, key=lambda c: c.index)] == [False, True]
+
+
+class TestCancellation:
+    def test_cancel_before_start_skips_every_cell(self):
+        batch = run_batch(GRID, execution="scalar", cancel=lambda: True)
+        assert not batch.ok
+        assert all("cancelled" in c.error for c in batch.cells)
+        assert all(c.metrics is None for c in batch.cells)
+
+    def test_cancel_mid_run_keeps_finished_cells_scalar(self):
+        done = []
+
+        def cancel_after_two():
+            return len(done) >= 2
+
+        batch = run_batch(
+            GRID,
+            workers=0,
+            execution="scalar",
+            on_cell_done=done.append,
+            cancel=cancel_after_two,
+        )
+        oks = [c.ok for c in batch.cells]
+        assert oks == [True, True, False, False]
+        assert all("cancelled" in c.error for c in batch.cells[2:])
+
+    def test_cancel_mid_run_keeps_finished_groups_lockstep(self):
+        # GRID forms two lockstep groups of two (one per methodology);
+        # cancelling after the first group leaves its cells intact
+        done = []
+
+        def cancel_after_first_group():
+            return len(done) >= 2
+
+        batch = run_batch(
+            GRID,
+            execution="lockstep",
+            on_cell_done=done.append,
+            cancel=cancel_after_first_group,
+        )
+        assert sum(c.ok for c in batch.cells) == 2
+        skipped = [c for c in batch.cells if not c.ok]
+        assert len(skipped) == 2
+        assert all("cancelled" in c.error for c in skipped)
+
+    def test_cancelled_cells_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_batch(GRID, cache=cache, execution="scalar", cancel=lambda: True)
+        rerun = run_batch(GRID, cache=cache, execution="scalar")
+        assert rerun.cache_hits == 0 and rerun.ok

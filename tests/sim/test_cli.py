@@ -107,3 +107,72 @@ class TestExport:
         header = path.read_text().splitlines()[0]
         assert "battery_temp_k" in header
         assert "wrote" in text
+
+
+class TestServiceCommands:
+    @pytest.fixture
+    def server(self, tmp_path):
+        from repro.service import SweepServer
+
+        srv = SweepServer(tmp_path / "store", port=0, worker_threads=1).start()
+        yield srv
+        srv.shutdown()
+
+    def test_parser_accepts_service_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0", "--quiet"])
+        assert args.command == "serve" and args.port == 0
+        args = parser.parse_args(["submit", "-m", "dual", "--wait", "--tag", "x"])
+        assert args.command == "submit" and args.wait and args.tag == "x"
+        args = parser.parse_args(
+            ["query", "abc", "--rows", "--filter", "methodology=dual", "--json"]
+        )
+        assert args.filters == ["methodology=dual"] and args.as_json
+
+    def test_submit_wait_and_query_roundtrip(self, server):
+        argv = ["-m", "parallel", "-m", "dual", "-c", "nycc", "--url", server.url]
+        code, text = run_cli(["submit"] + argv + ["--wait", "--tag", "smoke"])
+        assert code == 0
+        assert "submitted" in text
+        assert "done: 2 row(s), 0 failed cell(s)" in text
+
+        code, text = run_cli(["query", "--url", server.url])
+        assert code == 0 and "smoke" in text and "done" in text
+        sweep_id = text.splitlines()[1].split()[0]
+
+        code, text = run_cli(["query", sweep_id, "--url", server.url])
+        assert code == 0 and '"status": "done"' in text
+
+        code, text = run_cli(
+            ["query", sweep_id, "--rows", "--url", server.url,
+             "--filter", "methodology=dual"]
+        )
+        assert code == 0
+        assert "dual" in text and "parallel" not in text
+
+    def test_submit_from_spec_file(self, server, tmp_path):
+        from repro.service import SweepSpec
+        from repro.sim.scenario import Scenario
+
+        spec = SweepSpec(
+            base=Scenario(cycle="nycc"), axes={"methodology": ["parallel"]}
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        code, text = run_cli(
+            ["submit", "--spec", str(path), "--url", server.url, "--wait"]
+        )
+        assert code == 0 and "1 cells" in text
+
+    def test_bad_filter_is_usage_error(self, server):
+        code, text = run_cli(
+            ["query", "abc", "--rows", "--url", server.url, "--filter", "nope"]
+        )
+        assert code == 2 and "bad filter" in text
+
+    def test_unreachable_service_fails_cleanly(self):
+        code, text = run_cli(
+            ["submit", "-m", "parallel", "-c", "nycc",
+             "--url", "http://127.0.0.1:1"]
+        )
+        assert code == 1 and "submit failed" in text

@@ -74,3 +74,66 @@ class TestRunScenario:
         )
         assert result.controller_name == "OTEM"
         assert result.metrics.unmet_energy_j < 1e5
+
+
+class TestJsonRoundTrip:
+    def test_default_scenario_roundtrips(self):
+        s = Scenario()
+        assert Scenario.from_json(s.to_json()) == s
+
+    def test_drive_cycle_refs_and_seeds_roundtrip(self):
+        s = Scenario(
+            methodology="dual",
+            cycle="nycc",
+            repeat=3,
+            ucap_farads=5_000.0,
+            initial_temp_k=305.0,
+            rollout_backend="vectorized",
+            perturb_seed=17,
+        )
+        back = Scenario.from_json(s.to_json())
+        assert back == s
+        assert back.cycle == "nycc" and back.perturb_seed == 17
+
+    def test_nested_configs_roundtrip(self):
+        import dataclasses as dc
+        import json
+
+        s = Scenario()
+        doc = json.loads(s.to_json())
+        # nested dataclasses serialize as plain objects...
+        assert doc["pack"]["series"] == s.pack.series
+        assert doc["weights"]["w1"] == s.weights.w1
+        # ...and rebuild into the same frozen values
+        back = Scenario.from_json(s.to_json())
+        assert back.pack == s.pack and dc.asdict(back) == dc.asdict(s)
+
+    def test_partial_dicts_keep_defaults(self):
+        s = Scenario.from_dict({"cycle": "nycc", "pack": {"series": 48}})
+        assert s.cycle == "nycc"
+        assert s.pack.series == 48
+        assert s.pack.parallel == Scenario().pack.parallel
+        assert s.methodology == Scenario().methodology
+
+    def test_unknown_fields_rejected_with_path(self):
+        with pytest.raises(ValueError, match="unknown scenario field"):
+            Scenario.from_dict({"warp": 9})
+        with pytest.raises(ValueError, match="scenario.weights"):
+            Scenario.from_dict({"weights": {"nope": 1.0}})
+        with pytest.raises(ValueError, match="scenario.pack.cell"):
+            Scenario.from_dict({"pack": {"cell": {"nope": 1.0}}})
+
+    def test_nested_values_must_be_objects(self):
+        with pytest.raises(ValueError, match="must be a mapping"):
+            Scenario.from_dict({"pack": "big"})
+
+    def test_canonical_json_is_sorted_and_stable(self):
+        import json
+
+        a, b = Scenario().to_json(), Scenario().to_json()
+        assert a == b
+        assert list(json.loads(a)) == sorted(json.loads(a))
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ValueError, match="unknown methodology"):
+            Scenario.from_dict({"methodology": "magic"})
